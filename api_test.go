@@ -1,0 +1,60 @@
+package tlsshortcuts_test
+
+// Smoke tests for the public façade: a downstream user drives the whole
+// pipeline through the root package only.
+
+import (
+	"testing"
+
+	"tlsshortcuts"
+)
+
+func TestPublicAPIWorldAndStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign in -short mode")
+	}
+	world, err := tlsshortcuts.BuildWorld(tlsshortcuts.WorldOptions{ListSize: 300, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(world.TrustedCoreDomains()) == 0 {
+		t.Fatal("empty world")
+	}
+
+	ds, err := tlsshortcuts.RunStudy(tlsshortcuts.StudyOptions{
+		ListSize: 300, Days: 8, Seed: 17, Workers: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := tlsshortcuts.BuildReport(ds)
+	if rep.String() == "" {
+		t.Fatal("empty report")
+	}
+	c := tlsshortcuts.ClassifyExposures(rep.Exposures)
+	if c.Total == 0 {
+		t.Fatal("no exposures classified")
+	}
+}
+
+func TestPublicAPIRunner(t *testing.T) {
+	r, err := tlsshortcuts.NewRunner(tlsshortcuts.StudyOptions{ListSize: 200, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.World == nil || r.Scan == nil || r.Clock == nil {
+		t.Fatal("runner not wired")
+	}
+	// One ad-hoc experiment through the runner's scanner.
+	core := r.World.TrustedCoreDomains()
+	obs := r.Scan.Daily(core[:10], 0, nil, true)
+	ok := 0
+	for _, o := range obs {
+		if o.OK {
+			ok++
+		}
+	}
+	if ok < 8 {
+		t.Fatalf("only %d/10 scans succeeded", ok)
+	}
+}

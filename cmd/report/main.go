@@ -1,0 +1,62 @@
+// Command report regenerates the paper's tables and figures from a dataset
+// written by cmd/studyrun.
+//
+// Usage:
+//
+//	report -in dataset.json            # everything, paper order
+//	report -in dataset.json -only fig8 # one section
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"tlsshortcuts/internal/study"
+)
+
+func main() {
+	var (
+		in   = flag.String("in", "dataset.json", "dataset path")
+		only = flag.String("only", "", "one section: table1..table7, fig1..fig8")
+	)
+	flag.Parse()
+
+	ds, err := study.Load(*in)
+	if err != nil {
+		log.Fatalf("loading dataset: %v", err)
+	}
+	rep := study.BuildReport(ds)
+	if *only == "" {
+		fmt.Println(rep.String())
+		return
+	}
+	sections := map[string]func() string{
+		"table1": rep.Table1,
+		"table2": rep.Table2,
+		"table3": rep.Table3,
+		"table4": rep.Table4,
+		"table5": rep.Table5,
+		"table6": rep.Table6,
+		"table7": rep.Table7,
+		"fig1":   rep.Figure1,
+		"fig2":   rep.Figure2,
+		"fig3":   rep.Figure3,
+		"fig4":   rep.Figure4,
+		"fig5":   rep.Figure5,
+		"fig6":   rep.Figure6,
+		"fig7":   rep.Figure7,
+		"fig8":   rep.Figure8,
+		"tls13":  rep.TLS13Outlook,
+	}
+	f, ok := sections[strings.ToLower(*only)]
+	if !ok {
+		keys := make([]string, 0, len(sections))
+		for k := range sections {
+			keys = append(keys, k)
+		}
+		log.Fatalf("unknown section %q; available: %s", *only, strings.Join(keys, " "))
+	}
+	fmt.Println(f())
+}

@@ -1,0 +1,69 @@
+// Command simweb exposes one simulated domain's SSL terminator on a real
+// TCP port, so cmd/tlsscan (or any client speaking this repository's TLS
+// 1.2 subset) can poke it interactively:
+//
+//	simweb -domain yahoo.com -listen 127.0.0.1:4433 &
+//	tlsscan -addr 127.0.0.1:4433 -sni yahoo.com -conns 3
+//
+// The terminator keeps its configured shortcuts — session cache, tickets,
+// STEK policy, KEX reuse — so resumption and reuse behave exactly as in the
+// virtual study, except on the wall clock.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"time"
+
+	"tlsshortcuts/internal/population"
+	"tlsshortcuts/internal/simclock"
+	"tlsshortcuts/internal/tlsserver"
+)
+
+func main() {
+	var (
+		domain   = flag.String("domain", "yahoo.com", "simulated domain whose terminator to expose")
+		listen   = flag.String("listen", "127.0.0.1:4433", "listen address")
+		listSize = flag.Int("listsize", 2000, "sim world size")
+		seed     = flag.Int64("seed", 1, "sim world seed")
+	)
+	flag.Parse()
+
+	w, err := population.Build(population.Options{
+		ListSize: *listSize,
+		Seed:     *seed,
+		Clock:    simclock.System(),
+		Start:    time.Now(),
+	})
+	if err != nil {
+		log.Fatalf("building world: %v", err)
+	}
+	info := w.Domains[*domain]
+	if info == nil || len(info.Terms) == 0 {
+		log.Fatalf("domain %q not served in this world", *domain)
+	}
+	cfg := info.Terms[0].Config
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("serving %s (operator %s) on %s — scan with: tlsscan -addr %s -sni %s",
+		*domain, info.Operator, *listen, *listen, *domain)
+	log.Printf("behavior: tickets=%v cache=%v stek-period=%v dhe=%v ecdhe=%v",
+		info.Terms[0].Behavior.Tickets, info.Terms[0].Behavior.CacheLifetime,
+		info.Terms[0].Behavior.STEK.Period, info.Terms[0].Behavior.DHE.Mode,
+		info.Terms[0].Behavior.ECDHE.Mode)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatalf("accept: %v", err)
+		}
+		go func(c net.Conn) {
+			if err := tlsserver.Serve(c, cfg); err != nil {
+				log.Printf("connection error: %v", err)
+			}
+		}(conn)
+	}
+}

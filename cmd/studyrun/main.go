@@ -1,0 +1,59 @@
+// Command studyrun executes the full nine-week measurement campaign against
+// a freshly generated synthetic population and writes the dataset to disk.
+//
+// Usage:
+//
+//	studyrun -listsize 5000 -days 64 -seed 1 -out dataset.json
+//
+// The dataset feeds cmd/report, which regenerates every table and figure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"tlsshortcuts/internal/study"
+)
+
+func main() {
+	var (
+		listSize = flag.Int("listsize", 5000, "scaled Top Million list size")
+		days     = flag.Int("days", 64, "study length in days (paper: Mar 2 - May 4 2016)")
+		seed     = flag.Int64("seed", 1, "deterministic world/scan seed")
+		workers  = flag.Int("workers", runtime.NumCPU()*2, "scan concurrency")
+		out      = flag.String("out", "dataset.json", "output dataset path")
+		report   = flag.Bool("report", true, "print the full report after the run")
+		quiet    = flag.Bool("quiet", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	logf := func(format string, args ...interface{}) {
+		if !*quiet {
+			log.Printf(format, args...)
+		}
+	}
+	logf("building %d-domain world and running %d-day campaign (seed %d, %d workers)",
+		*listSize, *days, *seed, *workers)
+	start := time.Now()
+	ds, err := study.Run(study.Options{
+		ListSize: *listSize,
+		Days:     *days,
+		Seed:     *seed,
+		Workers:  *workers,
+		Logf:     logf,
+	})
+	if err != nil {
+		log.Fatalf("study failed: %v", err)
+	}
+	logf("campaign finished in %v; writing %s", time.Since(start).Round(time.Second), *out)
+	if err := ds.Save(*out); err != nil {
+		log.Fatalf("saving dataset: %v", err)
+	}
+	if *report {
+		fmt.Fprintln(os.Stdout, study.BuildReport(ds).String())
+	}
+}

@@ -1,0 +1,172 @@
+// Command tlsscan is the zgrab-analog single-target scanner: it performs
+// one or more TLS handshakes against a simulated domain (or a real TCP
+// endpoint speaking this repository's TLS 1.2 subset, e.g. cmd/simweb) and
+// prints what the study records: trust status, suite, server key-exchange
+// value, ticket and STEK identifier, and resumption behavior.
+//
+// Usage:
+//
+//	tlsscan -domain yahoo.com                 # scan inside a fresh sim world
+//	tlsscan -domain yahoo.com -conns 5        # reuse detection
+//	tlsscan -domain yahoo.com -resume ticket  # resumption check
+//	tlsscan -addr 127.0.0.1:4433 -sni x.example  # scan a simweb endpoint
+package main
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"tlsshortcuts/internal/pki"
+	"tlsshortcuts/internal/population"
+	"tlsshortcuts/internal/simclock"
+	"tlsshortcuts/internal/tlsclient"
+	"tlsshortcuts/internal/wire"
+)
+
+type scanOutput struct {
+	Domain       string `json:"domain"`
+	OK           bool   `json:"ok"`
+	Error        string `json:"error,omitempty"`
+	Trusted      bool   `json:"trusted"`
+	CipherSuite  string `json:"cipher_suite,omitempty"`
+	KexAlg       string `json:"kex,omitempty"`
+	KEXValue     string `json:"kex_value,omitempty"`
+	SessionIDSet bool   `json:"session_id_set"`
+	TicketIssued bool   `json:"ticket_issued"`
+	STEKID       string `json:"stek_id,omitempty"`
+	LifetimeHint string `json:"lifetime_hint,omitempty"`
+	Resumed      bool   `json:"resumed"`
+	ResumedVia   string `json:"resumed_via,omitempty"`
+}
+
+func main() {
+	var (
+		domain   = flag.String("domain", "yahoo.com", "simulated domain to scan")
+		addr     = flag.String("addr", "", "real TCP address (host:port) instead of the sim")
+		sni      = flag.String("sni", "", "SNI for -addr scans (default: -domain)")
+		listSize = flag.Int("listsize", 2000, "sim world size")
+		seed     = flag.Int64("seed", 1, "sim world seed")
+		conns    = flag.Int("conns", 1, "connections in quick succession")
+		suiteStr = flag.String("suites", "ecdhe,dhe,rsa", "offer order (csv of ecdhe,dhe,rsa)")
+		resume   = flag.String("resume", "", "after the first handshake, resume via 'id' or 'ticket'")
+	)
+	flag.Parse()
+
+	suites, err := parseSuites(*suiteStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var dial func() (net.Conn, error)
+	var roots *pki.RootStore
+	clock := simclock.NewManual(simclock.Epoch)
+	serverName := *domain
+	if *addr != "" {
+		if *sni != "" {
+			serverName = *sni
+		}
+		dial = func() (net.Conn, error) { return net.DialTimeout("tcp", *addr, 5*time.Second) }
+	} else {
+		w, err := population.Build(population.Options{ListSize: *listSize, Seed: *seed})
+		if err != nil {
+			log.Fatalf("building sim world: %v", err)
+		}
+		if !w.Net.HasDomain(*domain) {
+			log.Fatalf("domain %q not in the simulated world (try google.com, yahoo.com, netflix.com, site000001.example ...)", *domain)
+		}
+		clock = w.Clock.(*simclock.Manual)
+		roots = w.Roots
+		dial = func() (net.Conn, error) { return w.Net.Dial(*domain) }
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+
+	var firstSession *tlsclient.Session
+	for i := 0; i < *conns; i++ {
+		cfg := &tlsclient.Config{
+			ServerName:  serverName,
+			Suites:      suites,
+			OfferTicket: true,
+			Clock:       clock,
+			Roots:       roots,
+		}
+		if *resume != "" && firstSession != nil {
+			cfg.Resume = firstSession
+			cfg.ResumeViaTicket = *resume == "ticket"
+		}
+		conn, err := dial()
+		if err != nil {
+			log.Fatalf("dial: %v", err)
+		}
+		cap, err := tlsclient.Handshake(conn, cfg)
+		conn.Close()
+		out := render(serverName, cap, err)
+		if err == nil && firstSession == nil {
+			firstSession = cap.Session
+		}
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func render(domain string, cap *tlsclient.Capture, err error) scanOutput {
+	out := scanOutput{Domain: domain, OK: err == nil}
+	if err != nil {
+		out.Error = err.Error()
+	}
+	if cap == nil {
+		return out
+	}
+	out.Trusted = cap.Trusted
+	if cap.CipherSuite != 0 {
+		out.CipherSuite = wire.SuiteName(cap.CipherSuite)
+	}
+	if cap.KexAlg != 0 {
+		out.KexAlg = cap.KexAlg.String()
+		out.KEXValue = hex.EncodeToString(cap.ServerKEXValue)
+	}
+	out.SessionIDSet = len(cap.SessionID) > 0
+	out.TicketIssued = cap.TicketIssued
+	out.STEKID = hex.EncodeToString(cap.STEKID)
+	if cap.LifetimeHint > 0 {
+		out.LifetimeHint = cap.LifetimeHint.String()
+	}
+	out.Resumed = cap.Resumed
+	if cap.Resumed {
+		out.ResumedVia = "id"
+		if cap.ResumedViaTicket {
+			out.ResumedVia = "ticket"
+		}
+	}
+	return out
+}
+
+func parseSuites(s string) ([]uint16, error) {
+	var out []uint16
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(strings.ToLower(part)) {
+		case "ecdhe":
+			out = append(out, wire.SuiteECDHE)
+		case "dhe":
+			out = append(out, wire.SuiteDHE)
+		case "rsa":
+			out = append(out, wire.SuiteRSA)
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown suite %q", part)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no suites in %q", s)
+	}
+	return out, nil
+}
