@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test race bench fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+fmt:
+	gofmt -l -w .

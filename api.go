@@ -1,0 +1,85 @@
+// Package tlsshortcuts reproduces "Measuring the Security Harm of TLS
+// Crypto Shortcuts" (IMC 2016) against a simulated HTTPS Internet: it
+// builds a synthetic population of SSL terminators with realistic
+// shortcut policies, runs the paper's nine-week measurement campaign in
+// virtual time, and regenerates the tables, figures, and vulnerability
+// windows from the resulting dataset.
+//
+// This root package is a thin façade over the internal packages; see
+// cmd/studyrun and cmd/report for the command-line pipeline.
+package tlsshortcuts
+
+import (
+	"tlsshortcuts/internal/population"
+	"tlsshortcuts/internal/scanner"
+	"tlsshortcuts/internal/simclock"
+	"tlsshortcuts/internal/study"
+	"tlsshortcuts/internal/vulnwindow"
+)
+
+// WorldOptions configures a synthetic population build.
+type WorldOptions = population.Options
+
+// StudyOptions configures a measurement campaign.
+type StudyOptions = study.Options
+
+// World is the simulated population.
+type World = population.World
+
+// Dataset is a campaign's serializable measurement output.
+type Dataset = study.Dataset
+
+// Report is the analysis layer over a dataset.
+type Report = study.Report
+
+// Exposure is one (domain, mechanism) vulnerability window.
+type Exposure = vulnwindow.Exposure
+
+// Classification buckets combined windows by exceedance threshold.
+type Classification = vulnwindow.Classification
+
+// BuildWorld constructs a synthetic population.
+func BuildWorld(o WorldOptions) (*World, error) {
+	return population.Build(o)
+}
+
+// RunStudy executes a full measurement campaign.
+func RunStudy(o StudyOptions) (*Dataset, error) {
+	return study.Run(o)
+}
+
+// BuildReport computes exposures, windows, and report sections.
+func BuildReport(ds *Dataset) *Report {
+	return study.BuildReport(ds)
+}
+
+// ClassifyExposures combines per-mechanism exposures into per-domain
+// windows and counts threshold exceedances.
+func ClassifyExposures(exps []Exposure) Classification {
+	return vulnwindow.Classify(exps)
+}
+
+// Runner bundles a world with a ready scanner for ad-hoc experiments.
+type Runner struct {
+	World *World
+	Scan  *scanner.Scanner
+	Clock simclock.Clock
+}
+
+// NewRunner builds a world and wires a scanner to it.
+func NewRunner(o StudyOptions) (*Runner, error) {
+	world, err := population.Build(population.Options{ListSize: o.ListSize, Seed: o.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{
+		World: world,
+		Scan: &scanner.Scanner{
+			Dialer:  world.Net,
+			Roots:   world.Roots,
+			Clock:   world.Clock,
+			Workers: o.Workers,
+		},
+		Clock: world.Clock,
+	}, nil
+}

@@ -10,6 +10,7 @@
 //	tlsscan -domain yahoo.com -conns 5        # reuse detection
 //	tlsscan -domain yahoo.com -resume ticket  # resumption check
 //	tlsscan -addr 127.0.0.1:4433 -sni x.example  # scan a simweb endpoint
+//	tlsscan -demo                             # self-check, exits non-zero on failure
 package main
 
 import (
@@ -56,8 +57,14 @@ func main() {
 		conns    = flag.Int("conns", 1, "connections in quick succession")
 		suiteStr = flag.String("suites", "ecdhe,dhe,rsa", "offer order (csv of ecdhe,dhe,rsa)")
 		resume   = flag.String("resume", "", "after the first handshake, resume via 'id' or 'ticket'")
+		demo     = flag.Bool("demo", false, "run a self-contained scan self-check and exit")
 	)
 	flag.Parse()
+
+	if *demo {
+		runDemo()
+		return
+	}
 
 	suites, err := parseSuites(*suiteStr)
 	if err != nil {
@@ -79,7 +86,7 @@ func main() {
 			log.Fatalf("building sim world: %v", err)
 		}
 		if !w.Net.HasDomain(*domain) {
-			log.Fatalf("domain %q not in the simulated world (try google.com, yahoo.com, netflix.com, site000001.example ...)", *domain)
+			log.Fatalf("domain %q not in the simulated world (try google.com, yahoo.com, netflix.com, site-000001.example ...)", *domain)
 		}
 		clock = w.Clock.(*simclock.Manual)
 		roots = w.Roots
@@ -116,6 +123,57 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// runDemo scans a famous never-rotator inside a small fresh world and
+// checks the three behaviors the study depends on: a stable STEK ID
+// across two connections, ticket resumption, and session-ID resumption.
+func runDemo() {
+	w, err := population.Build(population.Options{ListSize: 200, Seed: 1})
+	if err != nil {
+		log.Fatalf("demo: building world: %v", err)
+	}
+	clock := w.Clock.(*simclock.Manual)
+	const target = "yahoo.com"
+	scan := func(cfg *tlsclient.Config) *tlsclient.Capture {
+		cfg.ServerName = target
+		cfg.Clock = clock
+		cfg.Roots = w.Roots
+		conn, err := w.Net.Dial(target)
+		if err != nil {
+			log.Fatalf("demo: dial: %v", err)
+		}
+		defer conn.Close()
+		cap, err := tlsclient.Handshake(conn, cfg)
+		if err != nil {
+			log.Fatalf("demo: handshake with %s: %v", target, err)
+		}
+		return cap
+	}
+
+	c1 := scan(&tlsclient.Config{OfferTicket: true})
+	c2 := scan(&tlsclient.Config{OfferTicket: true})
+	if !c1.Trusted || !c1.TicketIssued || !c2.TicketIssued {
+		log.Fatalf("demo: expected a trusted ticket-issuing scan, got trusted=%v issued=%v/%v",
+			c1.Trusted, c1.TicketIssued, c2.TicketIssued)
+	}
+	if len(c1.STEKID) == 0 || hex.EncodeToString(c1.STEKID) != hex.EncodeToString(c2.STEKID) {
+		log.Fatalf("demo: STEK ID not stable across connections: %x vs %x", c1.STEKID, c2.STEKID)
+	}
+	fmt.Printf("demo: %s scan ok — suite %s, STEK id %x\n", target, wire.SuiteName(c1.CipherSuite), c1.STEKID)
+
+	rt := scan(&tlsclient.Config{Resume: c1.Session, ResumeViaTicket: true})
+	if !rt.Resumed || !rt.ResumedViaTicket {
+		log.Fatal("demo: ticket resumption failed")
+	}
+	fmt.Println("demo: ticket resumption ok")
+
+	ri := scan(&tlsclient.Config{Resume: c1.Session})
+	if !ri.Resumed || ri.ResumedViaTicket {
+		log.Fatal("demo: session-ID resumption failed")
+	}
+	fmt.Println("demo: session-ID resumption ok")
+	fmt.Println("demo: PASS")
 }
 
 func render(domain string, cap *tlsclient.Capture, err error) scanOutput {

@@ -1,0 +1,3 @@
+module tlsshortcuts
+
+go 1.22

@@ -1,0 +1,91 @@
+// Package ffdh implements finite-field Diffie-Hellman for the DHE key
+// exchange. The simulated population uses a deterministic 512-bit group by
+// default (DESIGN.md: exponent reuse/longevity does not depend on group
+// size); the group is derived once, reproducibly, from a fixed seed.
+package ffdh
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/big"
+	"sync"
+)
+
+// Group is a DH group (prime modulus and generator).
+type Group struct {
+	P *big.Int
+	G *big.Int
+}
+
+var (
+	testOnce  sync.Once
+	testGroup *Group
+)
+
+// TestGroup512 returns the deterministic 512-bit group used by the
+// simulated population. It is generated once per process from a fixed seed
+// stream, so every run of every binary agrees on the parameters.
+func TestGroup512() *Group {
+	testOnce.Do(func() {
+		testGroup = &Group{P: derivePrime("tlsshortcuts-ffdh-512", 512), G: big.NewInt(2)}
+	})
+	return testGroup
+}
+
+// derivePrime expands seed||counter through SHA-256 until the candidate
+// (top two bits and low bit forced) passes Miller-Rabin.
+func derivePrime(seed string, bits int) *big.Int {
+	buf := make([]byte, bits/8)
+	for ctr := uint64(0); ; ctr++ {
+		for off := 0; off < len(buf); off += sha256.Size {
+			h := sha256.New()
+			h.Write([]byte(seed))
+			var c [16]byte
+			binary.BigEndian.PutUint64(c[:8], ctr)
+			binary.BigEndian.PutUint64(c[8:], uint64(off))
+			h.Write(c[:])
+			copy(buf[off:], h.Sum(nil))
+		}
+		buf[0] |= 0xC0
+		buf[len(buf)-1] |= 1
+		p := new(big.Int).SetBytes(buf)
+		if p.ProbablyPrime(20) {
+			return p
+		}
+	}
+}
+
+// PrivateFromSeed derives a deterministic private exponent from arbitrary
+// seed material — the mechanism behind epoch-based KEX value reuse.
+func (g *Group) PrivateFromSeed(seed []byte) *big.Int {
+	h1 := sha256.Sum256(append([]byte("ffdh-priv-1:"), seed...))
+	h2 := sha256.Sum256(append([]byte("ffdh-priv-2:"), seed...))
+	x := new(big.Int).SetBytes(append(h1[:], h2[:]...))
+	// Clamp into [2, P-2].
+	x.Mod(x, new(big.Int).Sub(g.P, big.NewInt(3)))
+	return x.Add(x, big.NewInt(2))
+}
+
+// Public computes g^x mod p.
+func (g *Group) Public(x *big.Int) *big.Int {
+	return new(big.Int).Exp(g.G, x, g.P)
+}
+
+// Shared computes peer^x mod p and returns it left-padded to the modulus
+// length (TLS strips leading zeros of the premaster; we keep the full
+// width for determinism and strip at the call site if needed).
+func (g *Group) Shared(x, peer *big.Int) ([]byte, error) {
+	if peer.Sign() <= 0 || peer.Cmp(g.P) >= 0 {
+		return nil, fmt.Errorf("ffdh: peer value out of range")
+	}
+	s := new(big.Int).Exp(peer, x, g.P)
+	return s.Bytes(), nil
+}
+
+// Bytes returns v left-padded to the group's modulus width.
+func (g *Group) Bytes(v *big.Int) []byte {
+	out := make([]byte, (g.P.BitLen()+7)/8)
+	v.FillBytes(out)
+	return out
+}

@@ -1,0 +1,88 @@
+// Package keyex is the unified key-exchange abstraction over FFDH and
+// ECDHE (P-256), with deterministic epoch-derived private values so server
+// policies can reuse a KEX value across connections and terminators.
+package keyex
+
+import (
+	"crypto/ecdh"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"tlsshortcuts/internal/ffdh"
+)
+
+// ReuseMode says how a server treats its ephemeral KEX value.
+type ReuseMode int
+
+const (
+	Fresh ReuseMode = iota // new value per handshake (true ephemerality)
+	Reuse                  // epoch-derived value, stable for Period
+)
+
+func (m ReuseMode) String() string {
+	if m == Reuse {
+		return "reuse"
+	}
+	return "fresh"
+}
+
+// Policy configures server-side KEX value handling. A zero Policy means a
+// fresh value per handshake. Seed names the value-sharing group: two
+// terminators with the same Seed (and Base/Period) serve the same value.
+type Policy struct {
+	Mode   ReuseMode
+	Period time.Duration
+	Base   time.Time
+	Seed   []byte
+}
+
+// epochSeed folds the policy's epoch counter into its seed.
+func (p *Policy) epochSeed(now time.Time) []byte {
+	e := uint64(0)
+	if p.Period > 0 {
+		d := now.Sub(p.Base)
+		if d > 0 {
+			e = uint64(d / p.Period)
+		}
+	}
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], e)
+	h := sha256.New()
+	h.Write(p.Seed)
+	h.Write(b[:])
+	return h.Sum(nil)
+}
+
+// ECDHEKey returns the server's P-256 private key for this handshake under
+// the policy; rand supplies entropy for Fresh mode.
+func ECDHEKey(p *Policy, now time.Time, rand interface{ Read([]byte) (int, error) }) (*ecdh.PrivateKey, error) {
+	curve := ecdh.P256()
+	if p == nil || p.Mode == Fresh {
+		return curve.GenerateKey(rand)
+	}
+	seed := p.epochSeed(now)
+	for i := 0; i < 64; i++ {
+		h := sha256.New()
+		h.Write([]byte("ecdhe-priv"))
+		h.Write(seed)
+		h.Write([]byte{byte(i)})
+		if k, err := curve.NewPrivateKey(h.Sum(nil)); err == nil {
+			return k, nil
+		}
+	}
+	return nil, fmt.Errorf("keyex: could not derive P-256 key")
+}
+
+// DHEPrivate returns the server's FFDH exponent for this handshake.
+func DHEPrivate(g *ffdh.Group, p *Policy, now time.Time, rand interface{ Read([]byte) (int, error) }) ([]byte, error) {
+	if p == nil || p.Mode == Fresh {
+		buf := make([]byte, 32)
+		if _, err := rand.Read(buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	return p.epochSeed(now), nil
+}

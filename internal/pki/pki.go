@@ -1,0 +1,174 @@
+// Package pki provides the simulated CA hierarchy and root store: real
+// x509 certificates (ECDSA P-256 by default, RSA supported) issued by
+// simulated roots, and the "browser-trusted" predicate the study's trust
+// filter applies (§3 of the paper).
+package pki
+
+import (
+	"crypto"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"fmt"
+	"io"
+	"math/big"
+	"sync"
+	"time"
+)
+
+// Alg selects the leaf/CA signature algorithm.
+type Alg int
+
+const (
+	ECDSAP256 Alg = iota
+	RSA2048
+)
+
+// DefaultRand is the entropy source used when callers have no seeded
+// stream of their own.
+var DefaultRand io.Reader = rand.Reader
+
+// Certificate bundles a leaf with its chain and private key — everything a
+// terminator needs to serve it.
+type Certificate struct {
+	Leaf  *x509.Certificate
+	Chain [][]byte // DER, leaf first
+	Key   crypto.Signer
+}
+
+// RootCA can issue leaves.
+type RootCA struct {
+	Cert *x509.Certificate
+	Key  crypto.Signer
+
+	serial int64
+	mu     sync.Mutex
+}
+
+func genKey(alg Alg, rnd io.Reader) (crypto.Signer, error) {
+	switch alg {
+	case RSA2048:
+		return rsa.GenerateKey(rnd, 2048)
+	default:
+		return ecdsa.GenerateKey(elliptic.P256(), rnd)
+	}
+}
+
+// NewRootCA creates a self-signed root.
+func NewRootCA(name string, alg Alg, rnd io.Reader) (*RootCA, error) {
+	key, err := genKey(alg, rnd)
+	if err != nil {
+		return nil, err
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: name},
+		NotBefore:             time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:              time.Date(2040, 1, 1, 0, 0, 0, 0, time.UTC),
+		IsCA:                  true,
+		BasicConstraintsValid: true,
+		KeyUsage:              x509.KeyUsageCertSign,
+	}
+	der, err := x509.CreateCertificate(rnd, tmpl, tmpl, key.Public(), key)
+	if err != nil {
+		return nil, err
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	return &RootCA{Cert: cert, Key: key}, nil
+}
+
+// IssueLeaf issues a server certificate for names, valid [nb, na).
+func (r *RootCA) IssueLeaf(names []string, alg Alg, nb, na time.Time, rnd io.Reader) (*Certificate, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("pki: no names")
+	}
+	key, err := genKey(alg, rnd)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.serial++
+	serial := r.serial
+	r.mu.Unlock()
+	tmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(serial + 1000),
+		Subject:      pkix.Name{CommonName: names[0]},
+		DNSNames:     names,
+		NotBefore:    nb,
+		NotAfter:     na,
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+	}
+	der, err := x509.CreateCertificate(rnd, tmpl, r.Cert, key.Public(), r.Key)
+	if err != nil {
+		return nil, err
+	}
+	leaf, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	return &Certificate{Leaf: leaf, Chain: [][]byte{der, r.Cert.Raw}, Key: key}, nil
+}
+
+// RootStore is the simulated browser trust store.
+type RootStore struct {
+	pool  *x509.CertPool
+	cache sync.Map // [32]byte chain+name fingerprint -> bool
+}
+
+// NewRootStore builds a store trusting the given roots.
+func NewRootStore(roots ...*RootCA) *RootStore {
+	p := x509.NewCertPool()
+	for _, r := range roots {
+		p.AddCert(r.Cert)
+	}
+	return &RootStore{pool: p}
+}
+
+// Verify reports whether the DER chain is browser-trusted for name at the
+// given time. Results are memoized by (leaf, name) — the study re-checks
+// the same chain tens of thousands of times.
+func (s *RootStore) Verify(chain [][]byte, name string, now time.Time) bool {
+	if len(chain) == 0 {
+		return false
+	}
+	h := sha256.New()
+	h.Write(chain[0])
+	h.Write([]byte(name))
+	var key [32]byte
+	h.Sum(key[:0])
+	if v, ok := s.cache.Load(key); ok {
+		return v.(bool)
+	}
+	ok := s.verify(chain, name, now)
+	s.cache.Store(key, ok)
+	return ok
+}
+
+func (s *RootStore) verify(chain [][]byte, name string, now time.Time) bool {
+	leaf, err := x509.ParseCertificate(chain[0])
+	if err != nil {
+		return false
+	}
+	inter := x509.NewCertPool()
+	for _, der := range chain[1:] {
+		if c, err := x509.ParseCertificate(der); err == nil {
+			inter.AddCert(c)
+		}
+	}
+	_, err = leaf.Verify(x509.VerifyOptions{
+		DNSName:       name,
+		Roots:         s.pool,
+		Intermediates: inter,
+		CurrentTime:   now,
+		KeyUsages:     []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+	})
+	return err == nil
+}

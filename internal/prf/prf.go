@@ -1,0 +1,57 @@
+// Package prf implements the TLS 1.2 pseudo-random function (RFC 5246
+// §5, P_SHA256 only) and the standard key derivations built on it.
+package prf
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+)
+
+// PHash is P_SHA256(secret, seed) expanded to n bytes.
+func PHash(secret, seed []byte, n int) []byte {
+	out := make([]byte, 0, n)
+	mac := func(data ...[]byte) []byte {
+		h := hmac.New(sha256.New, secret)
+		for _, d := range data {
+			h.Write(d)
+		}
+		return h.Sum(nil)
+	}
+	a := mac(seed) // A(1)
+	for len(out) < n {
+		out = append(out, mac(a, seed)...)
+		a = mac(a)
+	}
+	return out[:n]
+}
+
+// PRF is the TLS 1.2 PRF: P_SHA256(secret, label || seed).
+func PRF(secret []byte, label string, seed []byte, n int) []byte {
+	ls := make([]byte, 0, len(label)+len(seed))
+	ls = append(ls, label...)
+	ls = append(ls, seed...)
+	return PHash(secret, ls, n)
+}
+
+// MasterSecret derives the 48-byte master secret from a premaster secret
+// and the two hello randoms.
+func MasterSecret(premaster, clientRandom, serverRandom []byte) []byte {
+	seed := make([]byte, 0, 64)
+	seed = append(seed, clientRandom...)
+	seed = append(seed, serverRandom...)
+	return PRF(premaster, "master secret", seed, 48)
+}
+
+// KeyBlock derives n bytes of key material (note the server-random-first
+// seed order, per RFC 5246 §6.3).
+func KeyBlock(master, serverRandom, clientRandom []byte, n int) []byte {
+	seed := make([]byte, 0, 64)
+	seed = append(seed, serverRandom...)
+	seed = append(seed, clientRandom...)
+	return PRF(master, "key expansion", seed, n)
+}
+
+// FinishedHash computes the 12-byte verify_data for a Finished message.
+func FinishedHash(master []byte, label string, transcriptHash []byte) []byte {
+	return PRF(master, label, transcriptHash, 12)
+}

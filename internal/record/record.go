@@ -1,0 +1,181 @@
+// Package record implements the TLS 1.2 record layer: framing, and
+// AES-128-GCM protection with the TLS 1.2 nonce construction (4-byte
+// implicit salt from the key block, 8-byte explicit nonce carried on the
+// wire — which is what lets a passive attacker with the master secret
+// decrypt a recording after the fact).
+package record
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+)
+
+// Record content types.
+const (
+	TypeChangeCipherSpec uint8 = 20
+	TypeAlert            uint8 = 21
+	TypeHandshake        uint8 = 22
+	TypeAppData          uint8 = 23
+)
+
+const recordVersion uint16 = 0x0303
+
+// MaxPlaintext bounds one record's payload.
+const MaxPlaintext = 16384
+
+// Record is one TLS record as read off the wire.
+type Record struct {
+	Type    uint8
+	Payload []byte
+}
+
+// halfConn is one direction's crypto state.
+type halfConn struct {
+	aead cipher.AEAD
+	salt [4]byte
+	seq  uint64
+}
+
+// Conn frames records over an underlying net.Conn and applies AEAD
+// protection once each direction's keys are armed.
+type Conn struct {
+	c       net.Conn
+	in, out halfConn
+	rbuf    []byte
+}
+
+// NewConn wraps c; both directions start in plaintext.
+func NewConn(c net.Conn) *Conn { return &Conn{c: c} }
+
+// ArmWrite switches the write direction to AES-128-GCM.
+func (rc *Conn) ArmWrite(key, salt []byte) error { return rc.out.arm(key, salt) }
+
+// ArmRead switches the read direction to AES-128-GCM.
+func (rc *Conn) ArmRead(key, salt []byte) error { return rc.in.arm(key, salt) }
+
+func (h *halfConn) arm(key, salt []byte) error {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return err
+	}
+	h.aead, err = cipher.NewGCM(block)
+	if err != nil {
+		return err
+	}
+	copy(h.salt[:], salt)
+	h.seq = 0
+	return nil
+}
+
+func aad(seq uint64, typ uint8, n int) []byte {
+	var b [13]byte
+	binary.BigEndian.PutUint64(b[:8], seq)
+	b[8] = typ
+	binary.BigEndian.PutUint16(b[9:11], recordVersion)
+	binary.BigEndian.PutUint16(b[11:13], uint16(n))
+	return b[:]
+}
+
+// Seal protects plain for the armed state; the explicit nonce (the
+// sequence number) is prepended to the ciphertext, as on the real wire.
+func Seal(h *halfConn, typ uint8, plain []byte) []byte {
+	var nonce [12]byte
+	copy(nonce[:4], h.salt[:])
+	binary.BigEndian.PutUint64(nonce[4:], h.seq)
+	out := make([]byte, 8, 8+len(plain)+16)
+	binary.BigEndian.PutUint64(out, h.seq)
+	out = h.aead.Seal(out, nonce[:], plain, aad(h.seq, typ, len(plain)))
+	h.seq++
+	return out
+}
+
+// Open reverses Seal. It is exported (with OpenPayload) so the attacker
+// package can decrypt captured records given recovered keys.
+func Open(aead cipher.AEAD, salt []byte, typ uint8, payload []byte) ([]byte, error) {
+	return OpenPayload(aead, salt, typ, payload)
+}
+
+// OpenPayload decrypts one protected record payload (explicit nonce ||
+// ciphertext || tag) using the explicit nonce as the sequence number.
+func OpenPayload(aead cipher.AEAD, salt []byte, typ uint8, payload []byte) ([]byte, error) {
+	if len(payload) < 8+16 {
+		return nil, fmt.Errorf("record: protected payload too short")
+	}
+	seq := binary.BigEndian.Uint64(payload[:8])
+	var nonce [12]byte
+	copy(nonce[:4], salt)
+	copy(nonce[4:], payload[:8])
+	plainLen := len(payload) - 8 - 16
+	return aead.Open(nil, nonce[:], payload[8:], aad(seq, typ, plainLen))
+}
+
+// NewAEAD builds the AES-128-GCM AEAD for a write key (attacker use).
+func NewAEAD(key []byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}
+
+// WriteRecord writes one record, protecting it if the direction is armed.
+func (rc *Conn) WriteRecord(typ uint8, payload []byte) error {
+	if rc.out.aead != nil {
+		payload = Seal(&rc.out, typ, payload)
+	}
+	hdr := make([]byte, 5, 5+len(payload))
+	hdr[0] = typ
+	binary.BigEndian.PutUint16(hdr[1:3], recordVersion)
+	binary.BigEndian.PutUint16(hdr[3:5], uint16(len(payload)))
+	_, err := rc.c.Write(append(hdr, payload...))
+	return err
+}
+
+// ReadRecord reads and (if armed) decrypts one record.
+func (rc *Conn) ReadRecord() (*Record, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(rc.c, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint16(hdr[3:5]))
+	if n > MaxPlaintext+1024 {
+		return nil, fmt.Errorf("record: oversized record (%d)", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(rc.c, payload); err != nil {
+		return nil, err
+	}
+	typ := hdr[0]
+	if rc.in.aead != nil && typ != TypeChangeCipherSpec {
+		var nonce [12]byte
+		copy(nonce[:4], rc.in.salt[:])
+		if len(payload) < 8+16 {
+			return nil, fmt.Errorf("record: short protected record")
+		}
+		copy(nonce[4:], payload[:8])
+		seq := binary.BigEndian.Uint64(payload[:8])
+		plainLen := len(payload) - 8 - 16
+		plain, err := rc.in.aead.Open(nil, nonce[:], payload[8:], aad(seq, typ, plainLen))
+		if err != nil {
+			return nil, fmt.Errorf("record: decrypt: %w", err)
+		}
+		payload = plain
+	}
+	return &Record{Type: typ, Payload: payload}, nil
+}
+
+// Alert codes (the tiny subset the engines emit).
+const (
+	AlertCloseNotify      uint8 = 0
+	AlertHandshakeFailure uint8 = 40
+	AlertBadCertificate   uint8 = 42
+)
+
+// WriteAlert sends a fatal alert.
+func (rc *Conn) WriteAlert(code uint8) error {
+	return rc.WriteRecord(TypeAlert, []byte{2, code})
+}

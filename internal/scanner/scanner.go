@@ -1,0 +1,329 @@
+// Package scanner implements the measurement client of §3: daily
+// two-connection ticket scans (STEK identity via key-name prefixing),
+// single-connection key-exchange scans, binary-search-free lifetime
+// probes in lockstep virtual time, and the cross-domain session
+// resumption probes that map shared session caches.
+package scanner
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"tlsshortcuts/internal/pki"
+	"tlsshortcuts/internal/simclock"
+	"tlsshortcuts/internal/ticket"
+	"tlsshortcuts/internal/tlsclient"
+	"tlsshortcuts/internal/wire"
+)
+
+// Dialer is anything that can open a connection to a domain (in the
+// simulation, *simnet.Net).
+type Dialer interface {
+	Dial(domain string) (net.Conn, error)
+}
+
+// Topology exposes the AS/IP neighbor lists the cross-domain probes walk.
+type Topology interface {
+	SameAS(domain string) []string
+	SameIP(domain string) []string
+}
+
+// Scanner drives measurement connections through a worker pool.
+type Scanner struct {
+	Dialer  Dialer
+	Roots   *pki.RootStore
+	Clock   simclock.Clock
+	Workers int
+}
+
+func (s *Scanner) workers() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return 8
+}
+
+// forEach runs fn(i) for i in [0,n) on the worker pool.
+func (s *Scanner) forEach(n int, fn func(i int)) {
+	workers := s.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+func (s *Scanner) connect(domain string, cfg *tlsclient.Config) (*tlsclient.Capture, error) {
+	conn, err := s.Dialer.Dial(domain)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	cfg.ServerName = domain
+	cfg.Clock = s.Clock
+	cfg.Roots = s.Roots
+	return tlsclient.Handshake(conn, cfg)
+}
+
+// Observation is one domain's result from a daily scan.
+type Observation struct {
+	Domain       string
+	Day          int
+	OK           bool
+	Trusted      bool
+	Suite        uint16
+	Kex          wire.Kex
+	KEXValue     []byte // server key-exchange public value, first connection
+	KEXValue2    []byte // second connection (key-exchange scans only)
+	TicketIssued bool
+	LifetimeHint time.Duration
+	STEKID       []byte // stable ticket-key ID from the two-connection scan
+	Err          error
+}
+
+// Daily scans each domain once for the given virtual day. With
+// offerTicket set it makes the paper's two back-to-back ticket
+// connections and derives the STEK ID from the pair; with a non-nil
+// suite list it restricts the offered suites (key-exchange scans) and
+// makes two connections to detect server value reuse.
+func (s *Scanner) Daily(domains []string, day int, suites []uint16, offerTicket bool) []Observation {
+	out := make([]Observation, len(domains))
+	s.forEach(len(domains), func(i int) {
+		o := Observation{Domain: domains[i], Day: day}
+		cap1, err := s.connect(domains[i], &tlsclient.Config{Suites: suites, OfferTicket: offerTicket})
+		if err != nil {
+			o.Err = err
+			out[i] = o
+			return
+		}
+		o.OK = true
+		o.Trusted = cap1.Trusted
+		o.Suite = cap1.CipherSuite
+		o.Kex = cap1.KexAlg
+		o.KEXValue = cap1.ServerKEXValue
+		o.TicketIssued = cap1.TicketIssued
+		o.LifetimeHint = cap1.LifetimeHint
+		if offerTicket && cap1.TicketIssued {
+			if cap2, err := s.connect(domains[i], &tlsclient.Config{Suites: suites, OfferTicket: true}); err == nil && cap2.TicketIssued {
+				o.STEKID = ticket.DetectKeyID(cap1.Ticket, cap2.Ticket)
+			}
+		} else if suites != nil {
+			if cap2, err := s.connect(domains[i], &tlsclient.Config{Suites: suites}); err == nil {
+				o.KEXValue2 = cap2.ServerKEXValue
+			}
+		}
+		out[i] = o
+	})
+	return out
+}
+
+// ProbeResult is one domain's lifetime-probe outcome.
+type ProbeResult struct {
+	Domain      string
+	OK          bool          // initial handshake succeeded and produced a session
+	ResumedAt1s bool          // the 1-second sanity resumption succeeded
+	MaxDelay    time.Duration // longest delay at which resumption still worked
+	Hint        time.Duration // server's ticket lifetime hint, if any
+}
+
+// LifetimeProbe measures how long sessions stay resumable (§3, Figures
+// 1-2). All targets are probed in lockstep on the shared virtual clock:
+// an initial handshake, a 1 s sanity resumption, then polls every poll up
+// to max, stopping each domain at its first failed resumption. Resumption
+// always replays the ORIGINAL session, so the result measures the
+// server-side lifetime of the first secret, not a sliding refresh.
+func (s *Scanner) LifetimeProbe(targets []string, useTicket bool, poll, max time.Duration) []ProbeResult {
+	clock, ok := s.Clock.(*simclock.Manual)
+	if !ok {
+		panic("scanner: LifetimeProbe requires a *simclock.Manual clock")
+	}
+	start := clock.Now()
+	out := make([]ProbeResult, len(targets))
+	sessions := make([]*tlsclient.Session, len(targets))
+	s.forEach(len(targets), func(i int) {
+		out[i].Domain = targets[i]
+		cap, err := s.connect(targets[i], &tlsclient.Config{OfferTicket: useTicket})
+		if err != nil {
+			return
+		}
+		if useTicket && !cap.TicketIssued {
+			return
+		}
+		if !useTicket && len(cap.SessionID) == 0 {
+			return
+		}
+		out[i].OK = true
+		out[i].Hint = cap.LifetimeHint
+		sessions[i] = cap.Session
+	})
+
+	alive := make([]bool, len(targets))
+	probe := func(i int) bool {
+		cap, err := s.connect(targets[i], &tlsclient.Config{
+			Resume: sessions[i], ResumeViaTicket: useTicket,
+		})
+		return err == nil && cap.Resumed
+	}
+
+	clock.Set(start.Add(time.Second))
+	s.forEach(len(targets), func(i int) {
+		if out[i].OK && probe(i) {
+			out[i].ResumedAt1s = true
+			alive[i] = true
+		}
+	})
+	for d := poll; d <= max; d += poll {
+		clock.Set(start.Add(d))
+		any := false
+		s.forEach(len(targets), func(i int) {
+			if !alive[i] {
+				return
+			}
+			if probe(i) {
+				out[i].MaxDelay = d
+			} else {
+				alive[i] = false
+			}
+		})
+		for i := range alive {
+			if alive[i] {
+				any = true
+				break
+			}
+		}
+		if !any {
+			break
+		}
+	}
+	clock.Set(start)
+	return out
+}
+
+// CrossDomainGroups maps shared session caches (§5, Table 5): for each
+// target it establishes a session, then tries to resume it against up to
+// nAS same-AS and nIP same-IP neighbors, unioning every pair that accepts
+// a foreign session ID. Candidates are a prefix of a per-domain seeded
+// shuffle, so a larger budget strictly extends a smaller one.
+func (s *Scanner) CrossDomainGroups(targets []string, topo Topology, nAS, nIP int) *UnionFind {
+	inPop := make(map[string]bool, len(targets))
+	for _, d := range targets {
+		inPop[d] = true
+	}
+	uf := NewUnionFind()
+	var mu sync.Mutex
+	s.forEach(len(targets), func(i int) {
+		domain := targets[i]
+		cap, err := s.connect(domain, &tlsclient.Config{})
+		if err != nil || len(cap.SessionID) == 0 {
+			return
+		}
+		cands := seededPrefix(domain, topo.SameAS(domain), nAS)
+		cands = append(cands, seededPrefix(domain, topo.SameIP(domain), nIP)...)
+		seen := map[string]bool{domain: true}
+		for _, cand := range cands {
+			if seen[cand] || !inPop[cand] {
+				continue
+			}
+			seen[cand] = true
+			if c2, err := s.connect(cand, &tlsclient.Config{Resume: cap.Session}); err == nil && c2.Resumed {
+				mu.Lock()
+				uf.Union(domain, cand)
+				mu.Unlock()
+			}
+		}
+	})
+	return uf
+}
+
+// seededPrefix returns the first n elements of a deterministic per-domain
+// shuffle of list.
+func seededPrefix(domain string, list []string, n int) []string {
+	if len(list) == 0 || n <= 0 {
+		return nil
+	}
+	h := fnv.New64a()
+	h.Write([]byte(domain))
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	shuffled := append([]string(nil), list...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	if n > len(shuffled) {
+		n = len(shuffled)
+	}
+	return shuffled[:n]
+}
+
+// UnionFind tracks connected components of domain names.
+type UnionFind struct {
+	parent map[string]string
+}
+
+// NewUnionFind returns an empty structure.
+func NewUnionFind() *UnionFind { return &UnionFind{parent: make(map[string]string)} }
+
+// Find returns the component representative, adding x if unseen.
+func (u *UnionFind) Find(x string) string {
+	p, ok := u.parent[x]
+	if !ok {
+		u.parent[x] = x
+		return x
+	}
+	if p == x {
+		return x
+	}
+	root := u.Find(p)
+	u.parent[x] = root
+	return root
+}
+
+// Union merges the components of a and b.
+func (u *UnionFind) Union(a, b string) {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra != rb {
+		u.parent[rb] = ra
+	}
+}
+
+// Sets returns the components, each sorted, largest first.
+func (u *UnionFind) Sets() [][]string {
+	groups := make(map[string][]string)
+	for x := range u.parent {
+		r := u.Find(x)
+		groups[r] = append(groups[r], x)
+	}
+	out := make([][]string, 0, len(groups))
+	for _, g := range groups {
+		sort.Strings(g)
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i][0] < out[j][0]
+	})
+	return out
+}

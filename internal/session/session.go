@@ -1,0 +1,99 @@
+// Package session holds the server-side TLS session state: the resumable
+// State blob (what a ticket seals, what a cache entry stores) and the
+// session cache with a lifetime policy. A single Cache instance shared by
+// many terminators models the cross-domain cache groups of §5.
+package session
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is the resumable session state. Its serialization is the RFC 5077
+// "StatePlaintext" analog that tickets encrypt.
+type State struct {
+	Version      uint16
+	Suite        uint16
+	CreatedAt    time.Time
+	MasterSecret [48]byte
+}
+
+const stateLen = 2 + 2 + 8 + 48
+
+// Marshal serializes the state for sealing into a ticket.
+func (s *State) Marshal() []byte {
+	out := make([]byte, stateLen)
+	binary.BigEndian.PutUint16(out[0:2], s.Version)
+	binary.BigEndian.PutUint16(out[2:4], s.Suite)
+	binary.BigEndian.PutUint64(out[4:12], uint64(s.CreatedAt.Unix()))
+	copy(out[12:], s.MasterSecret[:])
+	return out
+}
+
+// Unmarshal reverses Marshal.
+func Unmarshal(b []byte) (*State, error) {
+	if len(b) != stateLen {
+		return nil, fmt.Errorf("session: bad state length %d", len(b))
+	}
+	s := &State{
+		Version:   binary.BigEndian.Uint16(b[0:2]),
+		Suite:     binary.BigEndian.Uint16(b[2:4]),
+		CreatedAt: time.Unix(int64(binary.BigEndian.Uint64(b[4:12])), 0).UTC(),
+	}
+	copy(s.MasterSecret[:], b[12:])
+	return s, nil
+}
+
+// Cache is a server-side session cache (ID -> State) with a lifetime
+// policy. The zero Lifetime means entries never expire by age.
+type Cache struct {
+	Lifetime time.Duration
+
+	mu      sync.Mutex
+	entries map[string]entry
+}
+
+type entry struct {
+	st      *State
+	created time.Time
+}
+
+// NewCache builds a cache with the given entry lifetime.
+func NewCache(lifetime time.Duration) *Cache {
+	return &Cache{Lifetime: lifetime, entries: make(map[string]entry)}
+}
+
+// Put stores state under id at time now.
+func (c *Cache) Put(id []byte, st *State, now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries == nil {
+		c.entries = make(map[string]entry)
+	}
+	c.entries[string(id)] = entry{st: st, created: now}
+}
+
+// Get returns the live state for id at time now, or nil if absent or
+// expired (expired entries are evicted).
+func (c *Cache) Get(id []byte, now time.Time) *State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[string(id)]
+	if !ok {
+		return nil
+	}
+	if c.Lifetime > 0 && now.Sub(e.created) > c.Lifetime {
+		delete(c.entries, string(id))
+		return nil
+	}
+	return e.st
+}
+
+// Len reports the number of stored (possibly expired) entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,55 @@
+// Package simclock provides the virtual clock that lets a nine-week
+// measurement campaign run in minutes: every piece of server state (cache
+// expiry, STEK epochs, KEX reuse epochs) is a pure function of clock time.
+package simclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Epoch is the canonical start of simulated time, aligned with the paper's
+// study window (March 2, 2016, 00:00 UTC).
+var Epoch = time.Date(2016, time.March, 2, 0, 0, 0, 0, time.UTC)
+
+// Clock is the minimal time source used everywhere in place of time.Now.
+type Clock interface {
+	Now() time.Time
+}
+
+// Manual is a hand-advanced clock for virtual-time campaigns.
+type Manual struct {
+	mu sync.RWMutex
+	t  time.Time
+}
+
+// NewManual returns a Manual clock starting at t.
+func NewManual(t time.Time) *Manual { return &Manual{t: t} }
+
+// Now returns the current virtual time.
+func (m *Manual) Now() time.Time {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.t
+}
+
+// Set jumps the clock to t (backwards jumps are allowed; tests use them).
+func (m *Manual) Set(t time.Time) {
+	m.mu.Lock()
+	m.t = t
+	m.mu.Unlock()
+}
+
+// Advance moves the clock forward by d.
+func (m *Manual) Advance(d time.Duration) {
+	m.mu.Lock()
+	m.t = m.t.Add(d)
+	m.mu.Unlock()
+}
+
+type system struct{}
+
+func (system) Now() time.Time { return time.Now() }
+
+// System returns a Clock backed by the real wall clock.
+func System() Clock { return system{} }

@@ -1,0 +1,162 @@
+// Package simnet is the simulated Internet's plumbing: a registry of
+// domains bound to SSL-terminator backends, a dialer that returns real
+// net.Conn pipes (spawning the server side per connection), load-balancer
+// fan-out without client affinity, and the AS/IP topology the
+// cross-domain resumption probes walk.
+package simnet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"tlsshortcuts/internal/tlsserver"
+)
+
+// Endpoint is one terminator backend.
+type Endpoint struct {
+	Config *tlsserver.Config
+}
+
+type binding struct {
+	backends []*Endpoint
+	as       int
+	ips      []string
+}
+
+// Net is the address space and dialer.
+type Net struct {
+	mu      sync.RWMutex
+	domains map[string]*binding
+	byAS    map[int][]string
+	byIP    map[string][]string
+	dialSeq atomic.Uint64
+}
+
+// New returns an empty network.
+func New() *Net {
+	return &Net{
+		domains: make(map[string]*binding),
+		byAS:    make(map[int][]string),
+		byIP:    make(map[string][]string),
+	}
+}
+
+// Register binds a domain to its AS, IPs, and backends.
+func (n *Net) Register(domain string, as int, ips []string, backends ...*Endpoint) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.domains[domain] = &binding{backends: backends, as: as, ips: ips}
+	n.byAS[as] = append(n.byAS[as], domain)
+	for _, ip := range ips {
+		n.byIP[ip] = append(n.byIP[ip], domain)
+	}
+}
+
+// HasDomain reports whether the domain resolves.
+func (n *Net) HasDomain(domain string) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	_, ok := n.domains[domain]
+	return ok
+}
+
+// Domains returns every registered name, sorted.
+func (n *Net) Domains() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]string, 0, len(n.domains))
+	for d := range n.domains {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dial opens a connection to the domain. The backend is chosen without
+// client affinity: successive dials may land on different terminators,
+// exactly the balancer behavior that frustrates naive run-length metrics.
+func (n *Net) Dial(domain string) (net.Conn, error) {
+	n.mu.RLock()
+	b, ok := n.domains[domain]
+	n.mu.RUnlock()
+	if !ok || len(b.backends) == 0 {
+		return nil, fmt.Errorf("simnet: no route to %q", domain)
+	}
+	seq := n.dialSeq.Add(1)
+	h := fnv.New64a()
+	h.Write([]byte(domain))
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(seq >> (8 * i))
+	}
+	h.Write(buf[:])
+	// FNV's low bits alternate for consecutive sequence numbers; run the
+	// sum through a 64-bit finalizer so back-to-back dials pick
+	// independently.
+	ep := b.backends[mix64(h.Sum64())%uint64(len(b.backends))]
+	cli, srv := net.Pipe()
+	go func() {
+		defer srv.Close()
+		_ = tlsserver.Serve(srv, ep.Config)
+	}()
+	return cli, nil
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// SameAS returns the other domains announced from the domain's AS,
+// sorted (the scanner samples a prefix of a seeded shuffle).
+func (n *Net) SameAS(domain string) []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	b, ok := n.domains[domain]
+	if !ok {
+		return nil
+	}
+	return others(n.byAS[b.as], domain)
+}
+
+// SameIP returns the other domains sharing any of the domain's IPs.
+func (n *Net) SameIP(domain string) []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	b, ok := n.domains[domain]
+	if !ok {
+		return nil
+	}
+	seen := map[string]bool{domain: true}
+	var out []string
+	for _, ip := range b.ips {
+		for _, d := range n.byIP[ip] {
+			if !seen[d] {
+				seen[d] = true
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func others(list []string, self string) []string {
+	out := make([]string, 0, len(list))
+	for _, d := range list {
+		if d != self {
+			out = append(out, d)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,313 @@
+// Package study orchestrates the paper's measurement campaign (§3) over
+// the simulated population: daily two-connection ticket scans, daily
+// key-exchange scans, session-lifetime probes in virtual time, and
+// cross-domain resumption probes; the results land in a serializable
+// Dataset from which every table and figure regenerates.
+package study
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"tlsshortcuts/internal/population"
+	"tlsshortcuts/internal/scanner"
+	"tlsshortcuts/internal/simclock"
+	"tlsshortcuts/internal/wire"
+)
+
+// Options configures a campaign.
+type Options struct {
+	ListSize int
+	Days     int
+	Seed     int64
+	Workers  int
+	Logf     func(format string, args ...interface{})
+}
+
+func (o *Options) logf(format string, args ...interface{}) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Snapshot is a day-zero support census for one mechanism.
+type Snapshot struct {
+	Scanned int // domains probed
+	Trusted int // with a browser-trusted chain
+	Support int // trusted and negotiated the mechanism
+	Reuse2x int // same server value on two immediate connections
+}
+
+// Dataset is everything a campaign measured, JSON-serializable so
+// analysis (cmd/report) can rerun without the 9-week scan.
+type Dataset struct {
+	ListSize    int
+	Days        int
+	Seed        int64
+	ScaleFactor float64
+
+	TrustedCore []string
+	Operators   map[string]string
+	Ranks       map[string]int
+
+	TicketSnapshot Snapshot
+	DHESnapshot    Snapshot
+	ECDHESnapshot  Snapshot
+
+	// Per-domain, per-secret-ID bitmask of the days the secret was
+	// observed (bit d = virtual day d; campaigns are capped at 64 days).
+	STEKSpans  map[string]map[string]uint64
+	DHESpans   map[string]map[string]uint64
+	ECDHESpans map[string]map[string]uint64
+
+	IDLifetime     []scanner.ProbeResult
+	TicketLifetime []scanner.ProbeResult
+
+	CacheGroups [][]string
+	STEKGroups  [][]string
+	DHGroups    [][]string
+	DHSingleton int // reused DH values confined to a single domain
+}
+
+// Save writes the dataset as JSON.
+func (d *Dataset) Save(path string) error {
+	b, err := json.Marshal(d)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Load reads a dataset written by Save.
+func Load(path string) (*Dataset, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	ds := &Dataset{}
+	if err := json.Unmarshal(b, ds); err != nil {
+		return nil, fmt.Errorf("study: bad dataset %s: %w", path, err)
+	}
+	return ds, nil
+}
+
+// Run executes a full campaign.
+func Run(o Options) (*Dataset, error) {
+	if o.Days < 1 || o.Days > 64 {
+		return nil, fmt.Errorf("study: Days must be in [1,64], got %d", o.Days)
+	}
+	world, err := population.Build(population.Options{ListSize: o.ListSize, Seed: o.Seed})
+	if err != nil {
+		return nil, err
+	}
+	clock := world.Clock.(*simclock.Manual)
+	start := clock.Now()
+	scan := &scanner.Scanner{Dialer: world.Net, Roots: world.Roots, Clock: clock, Workers: o.Workers}
+
+	core := world.TrustedCoreDomains()
+	all := allByRank(world)
+	ds := &Dataset{
+		ListSize:    o.ListSize,
+		Days:        o.Days,
+		Seed:        o.Seed,
+		ScaleFactor: world.ScaleFactor,
+		TrustedCore: core,
+		Operators:   make(map[string]string, len(world.Domains)),
+		Ranks:       make(map[string]int, len(world.Domains)),
+		STEKSpans:   make(map[string]map[string]uint64),
+		DHESpans:    make(map[string]map[string]uint64),
+		ECDHESpans:  make(map[string]map[string]uint64),
+	}
+	for name, d := range world.Domains {
+		ds.Operators[name] = d.Operator
+		ds.Ranks[name] = d.Rank
+	}
+
+	// Session-lifetime probes (Figures 1-2) run first, in lockstep
+	// virtual time from the campaign start.
+	o.logf("lifetime probes: session IDs (%d domains)", len(core))
+	ds.IDLifetime = scan.LifetimeProbe(core, false, 15*time.Minute, 30*time.Hour)
+	o.logf("lifetime probes: tickets")
+	ds.TicketLifetime = scan.LifetimeProbe(core, true, time.Hour, 36*time.Hour)
+
+	// Daily scans.
+	for day := 0; day < o.Days; day++ {
+		clock.Set(start.Add(time.Duration(day) * 24 * time.Hour))
+		tObs := scan.Daily(all, day, nil, true)
+		dObs := scan.Daily(core, day, []uint16{wire.SuiteDHE}, false)
+		eObs := scan.Daily(core, day, []uint16{wire.SuiteECDHE}, false)
+		if day == 0 {
+			ds.TicketSnapshot = ticketSnapshot(tObs)
+			ds.DHESnapshot = kexSnapshot(dObs, wire.KexDHE)
+			ds.ECDHESnapshot = kexSnapshot(eObs, wire.KexECDHE)
+		}
+		for _, ob := range tObs {
+			if ob.OK && ob.Trusted && len(ob.STEKID) > 0 {
+				mark(ds.STEKSpans, ob.Domain, hex.EncodeToString(ob.STEKID), day)
+			}
+		}
+		for _, ob := range dObs {
+			if ob.OK && ob.Kex == wire.KexDHE && len(ob.KEXValue) > 0 {
+				mark(ds.DHESpans, ob.Domain, valueID(ob.KEXValue), day)
+			}
+		}
+		for _, ob := range eObs {
+			if ob.OK && ob.Kex == wire.KexECDHE && len(ob.KEXValue) > 0 {
+				mark(ds.ECDHESpans, ob.Domain, valueID(ob.KEXValue), day)
+			}
+		}
+		o.logf("day %d/%d scanned", day+1, o.Days)
+	}
+
+	// Grouping passes (§5).
+	o.logf("cross-domain cache probes (budget 5+5)")
+	uf := scan.CrossDomainGroups(core, world.Net, 5, 5)
+	ds.CacheGroups = multiSets(uf)
+	ds.STEKGroups = secretGroups(ds.STEKSpans)
+	ds.DHGroups, ds.DHSingleton = dhGroups(ds.DHESpans, ds.ECDHESpans)
+	return ds, nil
+}
+
+func allByRank(w *population.World) []string {
+	type dr struct {
+		name string
+		rank int
+	}
+	list := make([]dr, 0, len(w.Domains))
+	for name, d := range w.Domains {
+		list = append(list, dr{name, d.Rank})
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].rank < list[j].rank })
+	out := make([]string, len(list))
+	for i, d := range list {
+		out[i] = d.name
+	}
+	return out
+}
+
+func mark(spans map[string]map[string]uint64, domain, id string, day int) {
+	m := spans[domain]
+	if m == nil {
+		m = make(map[string]uint64)
+		spans[domain] = m
+	}
+	m[id] |= 1 << uint(day)
+}
+
+// valueID compresses a server key-exchange value to a short stable ID.
+func valueID(v []byte) string {
+	h := sha256.Sum256(v)
+	return hex.EncodeToString(h[:8])
+}
+
+func ticketSnapshot(obs []scanner.Observation) Snapshot {
+	s := Snapshot{Scanned: len(obs)}
+	for _, ob := range obs {
+		if !ob.OK || !ob.Trusted {
+			continue
+		}
+		s.Trusted++
+		if ob.TicketIssued {
+			s.Support++
+		}
+		if len(ob.STEKID) > 0 {
+			s.Reuse2x++
+		}
+	}
+	return s
+}
+
+func kexSnapshot(obs []scanner.Observation, kex wire.Kex) Snapshot {
+	s := Snapshot{Scanned: len(obs), Trusted: len(obs)}
+	for _, ob := range obs {
+		if !ob.OK || ob.Kex != kex {
+			continue
+		}
+		s.Support++
+		if len(ob.KEXValue) > 0 && len(ob.KEXValue2) > 0 &&
+			hex.EncodeToString(ob.KEXValue) == hex.EncodeToString(ob.KEXValue2) {
+			s.Reuse2x++
+		}
+	}
+	return s
+}
+
+func multiSets(uf *scanner.UnionFind) [][]string {
+	var out [][]string
+	for _, g := range uf.Sets() {
+		if len(g) > 1 {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// secretGroups unions domains that were ever observed using the same
+// secret ID (Table 6's STEK groups).
+func secretGroups(spans map[string]map[string]uint64) [][]string {
+	uf := scanner.NewUnionFind()
+	first := make(map[string]string)
+	for domain, ids := range spans {
+		for id := range ids {
+			if prev, ok := first[id]; ok {
+				uf.Union(prev, domain)
+			} else {
+				first[id] = domain
+				uf.Find(domain)
+			}
+		}
+	}
+	return multiSets(uf)
+}
+
+// dhGroups unions domains sharing a reused key-exchange value and counts
+// reused values confined to one domain (Table 7's singletons).
+func dhGroups(spanSets ...map[string]map[string]uint64) ([][]string, int) {
+	uf := scanner.NewUnionFind()
+	domainsByID := make(map[string]map[string]bool)
+	reused := make(map[string]bool)
+	for _, spans := range spanSets {
+		for domain, ids := range spans {
+			for id, bits := range ids {
+				m := domainsByID[id]
+				if m == nil {
+					m = make(map[string]bool)
+					domainsByID[id] = m
+				}
+				m[domain] = true
+				if popcount(bits) >= 2 {
+					reused[id] = true
+				}
+			}
+		}
+	}
+	singles := 0
+	for id, domains := range domainsByID {
+		if len(domains) > 1 {
+			var prev string
+			for d := range domains {
+				if prev != "" {
+					uf.Union(prev, d)
+				}
+				prev = d
+			}
+		} else if reused[id] {
+			singles++
+		}
+	}
+	return multiSets(uf), singles
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,281 @@
+// Package ticket implements RFC 5077 session tickets in the three wire
+// formats the paper encountered — the RFC's recommended layout (16-byte
+// key name), mbedTLS's 4-byte key name, and an SChannel-style wrapped
+// format — plus the STEK managers (static, epoch-rotating with a
+// previous-key acceptance window) whose rotation policies set the
+// vulnerability windows of §6.
+package ticket
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"io"
+	"sync"
+	"time"
+
+	"tlsshortcuts/internal/session"
+)
+
+// Format is a ticket wire format.
+type Format int
+
+const (
+	FormatRFC5077  Format = iota // 16-byte key_name | IV | enc | HMAC
+	FormatMbedTLS                // 4-byte key_name  | IV | enc | HMAC
+	FormatSChannel               // 4-byte magic | 16-byte key GUID | IV | enc | HMAC
+)
+
+func (f Format) String() string {
+	switch f {
+	case FormatMbedTLS:
+		return "mbedtls"
+	case FormatSChannel:
+		return "schannel"
+	default:
+		return "rfc5077"
+	}
+}
+
+// nameLen is the key-name length on the wire for the format.
+func (f Format) nameLen() int {
+	if f == FormatMbedTLS {
+		return 4
+	}
+	return 16
+}
+
+var schannelMagic = []byte{0x53, 0x43, 0x48, 0x31} // "SCH1"
+
+// STEK is a session-ticket encryption key: the key name (format-specific
+// length), an AES-128-CBC encryption key, and an HMAC-SHA256 key.
+type STEK struct {
+	Format Format
+	Name   []byte
+	AESKey [16]byte
+	MACKey [32]byte
+}
+
+// Derive deterministically builds a STEK from seed material. Two servers
+// deriving from the same seed share the key — the mechanism behind the
+// cross-domain STEK groups of §5.2.
+func Derive(seed []byte, f Format) *STEK {
+	k := &STEK{Format: f}
+	name := sha256.Sum256(append([]byte("stek-name:"), seed...))
+	k.Name = append([]byte(nil), name[:f.nameLen()]...)
+	enc := sha256.Sum256(append([]byte("stek-aes:"), seed...))
+	copy(k.AESKey[:], enc[:16])
+	mac := sha256.Sum256(append([]byte("stek-mac:"), seed...))
+	k.MACKey = mac
+	return k
+}
+
+// header returns the bytes that precede the IV for this key.
+func (k *STEK) header() []byte {
+	if k.Format == FormatSChannel {
+		return append(append([]byte(nil), schannelMagic...), k.Name...)
+	}
+	return append([]byte(nil), k.Name...)
+}
+
+// Seal encrypts-then-MACs state into a ticket, drawing the IV from rand.
+func (k *STEK) Seal(st *session.State, rand io.Reader) ([]byte, error) {
+	plain := st.Marshal()
+	// PKCS#7 pad to the AES block size.
+	pad := aes.BlockSize - len(plain)%aes.BlockSize
+	for i := 0; i < pad; i++ {
+		plain = append(plain, byte(pad))
+	}
+	iv := make([]byte, aes.BlockSize)
+	if _, err := io.ReadFull(rand, iv); err != nil {
+		return nil, err
+	}
+	block, err := aes.NewCipher(k.AESKey[:])
+	if err != nil {
+		return nil, err
+	}
+	enc := make([]byte, len(plain))
+	cipher.NewCBCEncrypter(block, iv).CryptBlocks(enc, plain)
+
+	out := k.header()
+	out = append(out, iv...)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(enc)))
+	out = append(out, enc...)
+	h := hmac.New(sha256.New, k.MACKey[:])
+	h.Write(out)
+	return h.Sum(out), nil
+}
+
+// Open authenticates and decrypts a ticket. It returns nil (no error
+// detail) when the ticket was not sealed by this key or fails its MAC —
+// exactly how a server falls back to a full handshake.
+func (k *STEK) Open(tkt []byte) *session.State {
+	hdr := k.header()
+	minLen := len(hdr) + aes.BlockSize + 2 + sha256.Size
+	if len(tkt) < minLen || !bytes.HasPrefix(tkt, hdr) {
+		return nil
+	}
+	body, mac := tkt[:len(tkt)-sha256.Size], tkt[len(tkt)-sha256.Size:]
+	h := hmac.New(sha256.New, k.MACKey[:])
+	h.Write(body)
+	if !hmac.Equal(h.Sum(nil), mac) {
+		return nil
+	}
+	p := body[len(hdr):]
+	iv := p[:aes.BlockSize]
+	n := int(binary.BigEndian.Uint16(p[aes.BlockSize : aes.BlockSize+2]))
+	enc := p[aes.BlockSize+2:]
+	if n != len(enc) || n == 0 || n%aes.BlockSize != 0 {
+		return nil
+	}
+	block, err := aes.NewCipher(k.AESKey[:])
+	if err != nil {
+		return nil
+	}
+	plain := make([]byte, n)
+	cipher.NewCBCDecrypter(block, iv).CryptBlocks(plain, enc)
+	pad := int(plain[n-1])
+	if pad == 0 || pad > aes.BlockSize || pad > n {
+		return nil
+	}
+	st, err := session.Unmarshal(plain[:n-pad])
+	if err != nil {
+		return nil
+	}
+	return st
+}
+
+// ExtractKeyID returns the best single-ticket guess at the STEK
+// identifier: the SChannel key GUID when the wrapper magic is present,
+// otherwise the leading 16 bytes (the RFC 5077 recommended key_name).
+// Disambiguating 4-byte mbedTLS names requires two tickets — see
+// DetectKeyID, which is what the scanner uses.
+func ExtractKeyID(tkt []byte) []byte {
+	if bytes.HasPrefix(tkt, schannelMagic) && len(tkt) >= 20 {
+		return tkt[4:20]
+	}
+	if len(tkt) >= 16 {
+		return tkt[:16]
+	}
+	return nil
+}
+
+// DetectKeyID recovers a stable key identifier from two tickets issued
+// under the same STEK: the longest common prefix, truncated to the
+// matching format's header length. Returns nil if the tickets do not
+// share a plausible key name (different keys, or a rotation boundary).
+func DetectKeyID(t1, t2 []byte) []byte {
+	n := 0
+	for n < len(t1) && n < len(t2) && t1[n] == t2[n] {
+		n++
+	}
+	if bytes.HasPrefix(t1, schannelMagic) && bytes.HasPrefix(t2, schannelMagic) {
+		// The magic is shared by every SChannel ticket; only a match
+		// through the 16-byte key GUID identifies a key.
+		if n >= 20 {
+			return t1[:20]
+		}
+		return nil
+	}
+	switch {
+	case n >= 16:
+		return t1[:16]
+	case n >= 4:
+		return t1[:4]
+	}
+	return nil
+}
+
+// Manager is a server's STEK policy: which key seals new tickets now, and
+// which keys are still accepted for resumption.
+type Manager interface {
+	// IssuingKey returns the key sealing tickets at time now.
+	IssuingKey(now time.Time) *STEK
+	// LookupKey returns the accepted key that sealed tkt, or nil.
+	LookupKey(tkt []byte, now time.Time) *STEK
+	// ActiveKeys returns every key accepted at time now, issuing first.
+	ActiveKeys(now time.Time) []*STEK
+}
+
+// Static is a never-rotated key — the paper's most damning finding (4.9%
+// of trusted domains reused one STEK for the full measurement period).
+type Static struct{ key *STEK }
+
+// NewStatic builds a static manager from seed material.
+func NewStatic(seed []byte, f Format) *Static {
+	return &Static{key: Derive(seed, f)}
+}
+
+func (s *Static) IssuingKey(time.Time) *STEK { return s.key }
+func (s *Static) ActiveKeys(time.Time) []*STEK {
+	return []*STEK{s.key}
+}
+func (s *Static) LookupKey(tkt []byte, _ time.Time) *STEK {
+	if s.key.Open(tkt) != nil {
+		return s.key
+	}
+	return nil
+}
+
+// Rotating derives a fresh key every Period from Base, and keeps accepting
+// tickets sealed by the previous AcceptPrevious keys (Google's measured
+// policy: 14 h issue period, previous key accepted, ≈28 h window).
+type Rotating struct {
+	Seed           []byte
+	Base           time.Time
+	Period         time.Duration
+	AcceptPrevious int
+	Format         Format
+
+	mu    sync.Mutex
+	cache map[int64]*STEK
+}
+
+func (r *Rotating) epoch(now time.Time) int64 {
+	if r.Period <= 0 {
+		return 0
+	}
+	d := now.Sub(r.Base)
+	if d < 0 {
+		return 0
+	}
+	return int64(d / r.Period)
+}
+
+func (r *Rotating) key(epoch int64) *STEK {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cache == nil {
+		r.cache = make(map[int64]*STEK)
+	}
+	if k, ok := r.cache[epoch]; ok {
+		return k
+	}
+	seed := binary.BigEndian.AppendUint64(append([]byte(nil), r.Seed...), uint64(epoch))
+	k := Derive(seed, r.Format)
+	r.cache[epoch] = k
+	return k
+}
+
+func (r *Rotating) IssuingKey(now time.Time) *STEK { return r.key(r.epoch(now)) }
+
+func (r *Rotating) ActiveKeys(now time.Time) []*STEK {
+	e := r.epoch(now)
+	out := []*STEK{r.key(e)}
+	for i := int64(1); i <= int64(r.AcceptPrevious) && e-i >= 0; i++ {
+		out = append(out, r.key(e-i))
+	}
+	return out
+}
+
+func (r *Rotating) LookupKey(tkt []byte, now time.Time) *STEK {
+	for _, k := range r.ActiveKeys(now) {
+		if k.Open(tkt) != nil {
+			return k
+		}
+	}
+	return nil
+}

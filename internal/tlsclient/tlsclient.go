@@ -1,0 +1,446 @@
+// Package tlsclient is the zgrab-analog scanning client: restricted
+// cipher offers, capture of everything the study records (server random,
+// session ID, certificate chain, KEX value, ticket, STEK ID, lifetime
+// hint, master secret), and resumption by session ID or ticket.
+package tlsclient
+
+import (
+	"crypto"
+	"crypto/ecdh"
+	"crypto/ecdsa"
+	crand "crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"net"
+	"time"
+
+	"tlsshortcuts/internal/pki"
+	"tlsshortcuts/internal/prf"
+	"tlsshortcuts/internal/record"
+	"tlsshortcuts/internal/simclock"
+	"tlsshortcuts/internal/ticket"
+	"tlsshortcuts/internal/wire"
+)
+
+// Session is the client-side resumable state from a completed handshake.
+type Session struct {
+	ID     []byte
+	Ticket []byte
+	Suite  uint16
+	Master [48]byte
+}
+
+// Config drives one scan connection.
+type Config struct {
+	ServerName string
+	Suites     []uint16 // nil = [ECDHE, DHE]
+	Clock      simclock.Clock
+	Roots      *pki.RootStore // nil = record chain but skip trust check
+
+	OfferTicket bool
+
+	// Resume, when set, attempts resumption: by ticket when
+	// ResumeViaTicket, else by session ID.
+	Resume          *Session
+	ResumeViaTicket bool
+
+	// AppData, when set, is sent after the handshake and one response
+	// record is read (so captures contain traffic in both directions).
+	AppData []byte
+
+	Rand io.Reader // nil = crypto/rand
+}
+
+// Capture is everything the scanner records about one connection.
+type Capture struct {
+	Trusted     bool
+	CipherSuite uint16
+	KexAlg      wire.Kex
+
+	ServerRandom   []byte
+	ServerKEXValue []byte
+	SessionID      []byte
+
+	TicketIssued bool
+	Ticket       []byte // raw issued ticket
+	STEKID       []byte // best-effort single-ticket key ID
+	LifetimeHint time.Duration
+
+	Resumed          bool
+	ResumedViaTicket bool
+
+	Chain   [][]byte
+	Session *Session
+	AppResp []byte
+}
+
+func (c *Config) now() time.Time {
+	if c.Clock != nil {
+		return c.Clock.Now()
+	}
+	return time.Now()
+}
+
+func (c *Config) rand() io.Reader {
+	if c.Rand != nil {
+		return c.Rand
+	}
+	return crand.Reader
+}
+
+type hsConn struct {
+	rc   *record.Conn
+	buf  []byte
+	hash []byte
+}
+
+func (h *hsConn) transcript() []byte {
+	s := sha256.Sum256(h.hash)
+	return s[:]
+}
+
+func (h *hsConn) writeMsg(m *wire.Msg) error {
+	b := m.Marshal()
+	h.hash = append(h.hash, b...)
+	return h.rc.WriteRecord(record.TypeHandshake, b)
+}
+
+func (h *hsConn) readMsg() (*wire.Msg, bool, error) {
+	for {
+		if len(h.buf) >= 4 {
+			n := int(h.buf[1])<<16 | int(h.buf[2])<<8 | int(h.buf[3])
+			if len(h.buf) >= 4+n {
+				raw := h.buf[:4+n]
+				h.buf = h.buf[4+n:]
+				h.hash = append(h.hash, raw...)
+				return &wire.Msg{Type: raw[0], Body: raw[4:]}, false, nil
+			}
+		}
+		rec, err := h.rc.ReadRecord()
+		if err != nil {
+			return nil, false, err
+		}
+		switch rec.Type {
+		case record.TypeHandshake:
+			h.buf = append(h.buf, rec.Payload...)
+		case record.TypeChangeCipherSpec:
+			return nil, true, nil
+		case record.TypeAlert:
+			if len(rec.Payload) == 2 {
+				return nil, false, fmt.Errorf("tls: server alert %d", rec.Payload[1])
+			}
+			return nil, false, errors.New("tls: malformed server alert")
+		default:
+			return nil, false, fmt.Errorf("tls: unexpected record type %d", rec.Type)
+		}
+	}
+}
+
+// Handshake performs one connection against conn. The returned Capture is
+// non-nil whenever a ServerHello was seen, even on later failure.
+func Handshake(conn net.Conn, cfg *Config) (*Capture, error) {
+	hc := &hsConn{rc: record.NewConn(conn)}
+	cap := &Capture{}
+
+	suites := cfg.Suites
+	if suites == nil {
+		suites = []uint16{wire.SuiteECDHE, wire.SuiteDHE}
+	}
+	ch := &wire.ClientHello{Suites: suites, ServerName: cfg.ServerName, OfferTicket: cfg.OfferTicket}
+	if _, err := io.ReadFull(cfg.rand(), ch.Random[:]); err != nil {
+		return cap, err
+	}
+	if cfg.Resume != nil {
+		if cfg.ResumeViaTicket {
+			ch.Ticket = cfg.Resume.Ticket
+			ch.OfferTicket = true
+		} else {
+			ch.SessionID = cfg.Resume.ID
+		}
+	}
+	if err := hc.writeMsg(ch.Marshal()); err != nil {
+		return cap, err
+	}
+
+	msg, _, err := hc.readMsg()
+	if err != nil {
+		return cap, err
+	}
+	if msg.Type != wire.TypeServerHello {
+		return cap, fmt.Errorf("tls: expected ServerHello, got %d", msg.Type)
+	}
+	sh, err := wire.ParseServerHello(msg.Body)
+	if err != nil {
+		return cap, err
+	}
+	cap.CipherSuite = sh.Suite
+	cap.KexAlg = wire.SuiteKex(sh.Suite)
+	cap.ServerRandom = sh.Random[:]
+	cap.SessionID = sh.SessionID
+
+	// What follows decides full versus abbreviated handshake: a
+	// Certificate message means full; NewSessionTicket or CCS means the
+	// server accepted resumption.
+	msg, ccs, err := hc.readMsg()
+	if err != nil {
+		return cap, err
+	}
+	if ccs || msg.Type == wire.TypeNewSessionTicket {
+		if cfg.Resume == nil {
+			return cap, errors.New("tls: server resumed without an offer")
+		}
+		return cap, finishResumed(hc, cfg, cap, ch, sh, msg, ccs)
+	}
+	return cap, finishFull(hc, cfg, cap, ch, sh, msg)
+}
+
+func finishFull(hc *hsConn, cfg *Config, cap *Capture, ch *wire.ClientHello, sh *wire.ServerHello, msg *wire.Msg) error {
+	if msg.Type != wire.TypeCertificate {
+		return fmt.Errorf("tls: expected Certificate, got %d", msg.Type)
+	}
+	chain, err := wire.ParseCertificate(msg.Body)
+	if err != nil {
+		return err
+	}
+	cap.Chain = chain
+	if cfg.Roots != nil {
+		cap.Trusted = cfg.Roots.Verify(chain, cfg.ServerName, cfg.now())
+	}
+
+	kex := wire.SuiteKex(sh.Suite)
+	var premaster, clientPub []byte
+	switch kex {
+	case wire.KexECDHE, wire.KexDHE:
+		msg, _, err = hc.readMsg()
+		if err != nil {
+			return err
+		}
+		if msg.Type != wire.TypeServerKeyExchange {
+			return fmt.Errorf("tls: expected ServerKeyExchange, got %d", msg.Type)
+		}
+		ske, err := wire.ParseSKE(kex, msg.Body)
+		if err != nil {
+			return err
+		}
+		cap.ServerKEXValue = ske.Public
+		if err := verifySKE(chain, ske, ch.Random[:], sh.Random[:]); err != nil {
+			return err
+		}
+		if kex == wire.KexECDHE {
+			priv, err := ecdh.P256().GenerateKey(cfg.rand())
+			if err != nil {
+				return err
+			}
+			peer, err := ecdh.P256().NewPublicKey(ske.Public)
+			if err != nil {
+				return fmt.Errorf("tls: bad server ECDHE value: %w", err)
+			}
+			premaster, err = priv.ECDH(peer)
+			if err != nil {
+				return err
+			}
+			clientPub = priv.PublicKey().Bytes()
+		} else {
+			p := new(big.Int).SetBytes(ske.P)
+			g := new(big.Int).SetBytes(ske.G)
+			var xb [32]byte
+			if _, err := io.ReadFull(cfg.rand(), xb[:]); err != nil {
+				return err
+			}
+			x := new(big.Int).SetBytes(xb[:])
+			ys := new(big.Int).SetBytes(ske.Public)
+			if ys.Sign() <= 0 || ys.Cmp(p) >= 0 {
+				return errors.New("tls: server DH value out of range")
+			}
+			premaster = new(big.Int).Exp(ys, x, p).Bytes()
+			yc := new(big.Int).Exp(g, x, p)
+			clientPub = yc.Bytes()
+		}
+	default:
+		return fmt.Errorf("tls: unsupported key exchange %v", kex)
+	}
+
+	// ServerHelloDone.
+	msg, _, err = hc.readMsg()
+	if err != nil {
+		return err
+	}
+	if msg.Type != wire.TypeServerHelloDone {
+		return fmt.Errorf("tls: expected ServerHelloDone, got %d", msg.Type)
+	}
+
+	if err := hc.writeMsg(wire.MarshalCKE(kex, clientPub)); err != nil {
+		return err
+	}
+	master := prf.MasterSecret(premaster, ch.Random[:], sh.Random[:])
+	kb := prf.KeyBlock(master, sh.Random[:], ch.Random[:], 40)
+
+	preFinished := hc.transcript()
+	if err := hc.rc.WriteRecord(record.TypeChangeCipherSpec, []byte{1}); err != nil {
+		return err
+	}
+	if err := hc.rc.ArmWrite(kb[0:16], kb[32:36]); err != nil {
+		return err
+	}
+	fin := &wire.Msg{Type: wire.TypeFinished, Body: prf.FinishedHash(master, "client finished", preFinished)}
+	if err := hc.writeMsg(fin); err != nil {
+		return err
+	}
+
+	// Server side: optional NewSessionTicket (plaintext), CCS, Finished.
+	msg, ccs, err := hc.readMsg()
+	if err != nil {
+		return err
+	}
+	if !ccs && msg.Type == wire.TypeNewSessionTicket {
+		if err := recordTicket(cap, msg); err != nil {
+			return err
+		}
+		msg, ccs, err = hc.readMsg()
+		if err != nil {
+			return err
+		}
+	}
+	if !ccs {
+		return fmt.Errorf("tls: expected server ChangeCipherSpec")
+	}
+	if err := hc.rc.ArmRead(kb[16:32], kb[36:40]); err != nil {
+		return err
+	}
+	preServer := hc.transcript()
+	msg, _, err = hc.readMsg()
+	if err != nil {
+		return err
+	}
+	want := prf.FinishedHash(master, "server finished", preServer)
+	if msg.Type != wire.TypeFinished || !equal(msg.Body, want) {
+		return errors.New("tls: bad server Finished")
+	}
+
+	sess := &Session{ID: sh.SessionID, Ticket: cap.Ticket, Suite: sh.Suite}
+	copy(sess.Master[:], master)
+	cap.Session = sess
+	return appData(hc, cfg, cap)
+}
+
+func finishResumed(hc *hsConn, cfg *Config, cap *Capture, ch *wire.ClientHello, sh *wire.ServerHello, msg *wire.Msg, ccs bool) error {
+	cap.Resumed = true
+	cap.ResumedViaTicket = cfg.ResumeViaTicket
+	master := cfg.Resume.Master[:]
+	kb := prf.KeyBlock(master, sh.Random[:], ch.Random[:], 40)
+
+	if !ccs { // msg is NewSessionTicket (reissue)
+		if err := recordTicket(cap, msg); err != nil {
+			return err
+		}
+		var err error
+		_, ccs, err = hc.readMsg()
+		if err != nil {
+			return err
+		}
+		if !ccs {
+			return errors.New("tls: expected CCS after reissued ticket")
+		}
+	}
+	if err := hc.rc.ArmRead(kb[16:32], kb[36:40]); err != nil {
+		return err
+	}
+	preServer := hc.transcript()
+	fin, _, err := hc.readMsg()
+	if err != nil {
+		return err
+	}
+	want := prf.FinishedHash(master, "server finished", preServer)
+	if fin.Type != wire.TypeFinished || !equal(fin.Body, want) {
+		return errors.New("tls: bad server Finished on resumption")
+	}
+
+	preClient := hc.transcript()
+	if err := hc.rc.WriteRecord(record.TypeChangeCipherSpec, []byte{1}); err != nil {
+		return err
+	}
+	if err := hc.rc.ArmWrite(kb[0:16], kb[32:36]); err != nil {
+		return err
+	}
+	cfin := &wire.Msg{Type: wire.TypeFinished, Body: prf.FinishedHash(master, "client finished", preClient)}
+	if err := hc.writeMsg(cfin); err != nil {
+		return err
+	}
+
+	sess := &Session{ID: sh.SessionID, Ticket: cap.Ticket, Suite: sh.Suite}
+	if len(sess.Ticket) == 0 {
+		sess.Ticket = cfg.Resume.Ticket
+	}
+	copy(sess.Master[:], master)
+	cap.Session = sess
+	cap.CipherSuite = sh.Suite
+	return appData(hc, cfg, cap)
+}
+
+func recordTicket(cap *Capture, msg *wire.Msg) error {
+	nst, err := wire.ParseNewSessionTicket(msg.Body)
+	if err != nil {
+		return err
+	}
+	cap.TicketIssued = true
+	cap.Ticket = nst.Ticket
+	cap.STEKID = ticket.ExtractKeyID(nst.Ticket)
+	cap.LifetimeHint = nst.LifetimeHint
+	return nil
+}
+
+func appData(hc *hsConn, cfg *Config, cap *Capture) error {
+	if len(cfg.AppData) == 0 {
+		return nil
+	}
+	if err := hc.rc.WriteRecord(record.TypeAppData, cfg.AppData); err != nil {
+		return err
+	}
+	rec, err := hc.rc.ReadRecord()
+	if err != nil {
+		return err
+	}
+	if rec.Type != record.TypeAppData {
+		return fmt.Errorf("tls: expected application data, got record type %d", rec.Type)
+	}
+	cap.AppResp = rec.Payload
+	return nil
+}
+
+func verifySKE(chain [][]byte, ske *wire.SKE, clientRandom, serverRandom []byte) error {
+	if len(chain) == 0 {
+		return errors.New("tls: no certificate to verify ServerKeyExchange")
+	}
+	leaf, err := x509.ParseCertificate(chain[0])
+	if err != nil {
+		return err
+	}
+	digest := sha256.Sum256(ske.SignedParams(clientRandom, serverRandom))
+	switch pub := leaf.PublicKey.(type) {
+	case *ecdsa.PublicKey:
+		if !ecdsa.VerifyASN1(pub, digest[:], ske.Sig) {
+			return errors.New("tls: bad ServerKeyExchange signature")
+		}
+	case *rsa.PublicKey:
+		return rsa.VerifyPKCS1v15(pub, crypto.SHA256, digest[:], ske.Sig)
+	default:
+		return errors.New("tls: unsupported server public key")
+	}
+	return nil
+}
+
+func equal(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	var v byte
+	for i := range a {
+		v |= a[i] ^ b[i]
+	}
+	return v == 0
+}

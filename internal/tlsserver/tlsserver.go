@@ -1,0 +1,462 @@
+// Package tlsserver is the from-scratch TLS 1.2 server state machine: full
+// handshakes (ECDHE/DHE), session-ID resumption, RFC 5077 ticket
+// resumption with reissue, SNI virtual hosting, and the configurable
+// shortcut policies the paper measures — session-cache lifetime, STEK
+// rotation, and KEX value reuse.
+package tlsserver
+
+import (
+	"crypto"
+	"crypto/ecdh"
+	crand "crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"net"
+	"time"
+
+	"tlsshortcuts/internal/ffdh"
+	"tlsshortcuts/internal/keyex"
+	"tlsshortcuts/internal/pki"
+	"tlsshortcuts/internal/prf"
+	"tlsshortcuts/internal/record"
+	"tlsshortcuts/internal/session"
+	"tlsshortcuts/internal/simclock"
+	"tlsshortcuts/internal/ticket"
+	"tlsshortcuts/internal/wire"
+)
+
+// Config is one SSL terminator's behavior. The zero value of the policy
+// fields is the safest configuration (fresh KEX values, no cache, no
+// tickets); the population wires in the shortcuts.
+type Config struct {
+	Clock simclock.Clock
+
+	// Certificates: SNI name -> cert, with DefaultCert as fallback.
+	DefaultCert *pki.Certificate
+	Certs       map[string]*pki.Certificate
+
+	// Session tickets. A nil Tickets manager disables tickets entirely.
+	Tickets    ticket.Manager
+	TicketHint time.Duration
+
+	// Session-ID cache; nil disables ID resumption. Shared instances
+	// model cross-domain cache groups.
+	Cache *session.Cache
+
+	// Cipher support and KEX reuse policies.
+	DisableECDHE bool
+	DisableDHE   bool
+	ECDHEPolicy  *keyex.Policy
+	DHEPolicy    *keyex.Policy
+
+	// RestartBase anchors process-lifetime state (informational).
+	RestartBase time.Time
+
+	// Rand supplies all server entropy (hello randoms, IVs, session
+	// IDs); nil means crypto/rand.
+	Rand io.Reader
+
+	// Respond maps one application-data record to a response; nil gives
+	// a canned HTTP 200.
+	Respond func([]byte) []byte
+}
+
+func (c *Config) now() time.Time {
+	if c.Clock != nil {
+		return c.Clock.Now()
+	}
+	return time.Now()
+}
+
+func (c *Config) rand() io.Reader {
+	if c.Rand != nil {
+		return c.Rand
+	}
+	return crand.Reader
+}
+
+func (c *Config) certFor(sni string) *pki.Certificate {
+	if c.Certs != nil {
+		if crt, ok := c.Certs[sni]; ok {
+			return crt
+		}
+	}
+	return c.DefaultCert
+}
+
+// hsConn couples the record layer with a handshake-message reader and the
+// running transcript hash.
+type hsConn struct {
+	rc   *record.Conn
+	buf  []byte
+	hash []byte // raw transcript; hashed on demand
+}
+
+func (h *hsConn) transcript() []byte {
+	s := sha256.Sum256(h.hash)
+	return s[:]
+}
+
+func (h *hsConn) writeMsg(m *wire.Msg) error {
+	b := m.Marshal()
+	h.hash = append(h.hash, b...)
+	return h.rc.WriteRecord(record.TypeHandshake, b)
+}
+
+// readMsg returns the next handshake message; ccs is true when a
+// ChangeCipherSpec record arrived instead.
+func (h *hsConn) readMsg() (m *wire.Msg, ccs bool, err error) {
+	for {
+		if len(h.buf) >= 4 {
+			n := int(h.buf[1])<<16 | int(h.buf[2])<<8 | int(h.buf[3])
+			if len(h.buf) >= 4+n {
+				raw := h.buf[:4+n]
+				h.buf = h.buf[4+n:]
+				h.hash = append(h.hash, raw...)
+				return &wire.Msg{Type: raw[0], Body: raw[4:]}, false, nil
+			}
+		}
+		rec, err := h.rc.ReadRecord()
+		if err != nil {
+			return nil, false, err
+		}
+		switch rec.Type {
+		case record.TypeHandshake:
+			h.buf = append(h.buf, rec.Payload...)
+		case record.TypeChangeCipherSpec:
+			return nil, true, nil
+		case record.TypeAlert:
+			return nil, false, alertError(rec.Payload)
+		default:
+			return nil, false, fmt.Errorf("tls: unexpected record type %d during handshake", rec.Type)
+		}
+	}
+}
+
+func alertError(p []byte) error {
+	if len(p) == 2 {
+		return fmt.Errorf("tls: received alert %d", p[1])
+	}
+	return errors.New("tls: received malformed alert")
+}
+
+// Serve runs one server-side connection to completion: handshake, then an
+// application-data echo loop until the peer closes.
+func Serve(conn net.Conn, cfg *Config) error {
+	hc := &hsConn{rc: record.NewConn(conn)}
+	st, err := handshake(hc, cfg)
+	if err != nil {
+		return err
+	}
+	_ = st
+	return appLoop(hc.rc, cfg)
+}
+
+func appLoop(rc *record.Conn, cfg *Config) error {
+	for {
+		rec, err := rc.ReadRecord()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		switch rec.Type {
+		case record.TypeAppData:
+			resp := []byte("HTTP/1.1 200 OK\r\ncontent-length: 3\r\n\r\nok\n")
+			if cfg.Respond != nil {
+				resp = cfg.Respond(rec.Payload)
+			}
+			if err := rc.WriteRecord(record.TypeAppData, resp); err != nil {
+				return err
+			}
+		case record.TypeAlert:
+			return nil // close_notify
+		default:
+			return fmt.Errorf("tls: unexpected record type %d", rec.Type)
+		}
+	}
+}
+
+func handshake(hc *hsConn, cfg *Config) (*session.State, error) {
+	msg, _, err := hc.readMsg()
+	if err != nil {
+		return nil, err
+	}
+	if msg.Type != wire.TypeClientHello {
+		return nil, fmt.Errorf("tls: expected ClientHello, got %d", msg.Type)
+	}
+	ch, err := wire.ParseClientHello(msg.Body)
+	if err != nil {
+		return nil, err
+	}
+	now := cfg.now()
+
+	// Ticket resumption?
+	if len(ch.Ticket) > 0 && cfg.Tickets != nil {
+		if k := cfg.Tickets.LookupKey(ch.Ticket, now); k != nil {
+			if st := k.Open(ch.Ticket); st != nil && suiteOffered(ch.Suites, st.Suite) {
+				return st, resume(hc, cfg, ch, st, now)
+			}
+		}
+	}
+	// Session-ID resumption?
+	if len(ch.SessionID) > 0 && cfg.Cache != nil {
+		if st := cfg.Cache.Get(ch.SessionID, now); st != nil && suiteOffered(ch.Suites, st.Suite) {
+			return st, resume(hc, cfg, ch, st, now)
+		}
+	}
+	return full(hc, cfg, ch, now)
+}
+
+func suiteOffered(offer []uint16, s uint16) bool {
+	for _, o := range offer {
+		if o == s {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Config) pickSuite(offer []uint16) uint16 {
+	for _, s := range offer {
+		switch s {
+		case wire.SuiteECDHE:
+			if !c.DisableECDHE {
+				return s
+			}
+		case wire.SuiteDHE:
+			if !c.DisableDHE {
+				return s
+			}
+		}
+	}
+	return 0
+}
+
+func full(hc *hsConn, cfg *Config, ch *wire.ClientHello, now time.Time) (*session.State, error) {
+	suite := cfg.pickSuite(ch.Suites)
+	if suite == 0 {
+		hc.rc.WriteAlert(record.AlertHandshakeFailure)
+		return nil, errors.New("tls: no mutually supported cipher suite")
+	}
+	crt := cfg.certFor(ch.ServerName)
+	if crt == nil {
+		hc.rc.WriteAlert(record.AlertHandshakeFailure)
+		return nil, errors.New("tls: no certificate configured")
+	}
+	rnd := cfg.rand()
+
+	sh := &wire.ServerHello{Suite: suite}
+	if _, err := io.ReadFull(rnd, sh.Random[:]); err != nil {
+		return nil, err
+	}
+	if cfg.Cache != nil {
+		sh.SessionID = make([]byte, 32)
+		if _, err := io.ReadFull(rnd, sh.SessionID); err != nil {
+			return nil, err
+		}
+	}
+	issueTicket := cfg.Tickets != nil && ch.OfferTicket
+	sh.TicketAck = issueTicket
+	if err := hc.writeMsg(sh.Marshal()); err != nil {
+		return nil, err
+	}
+	if err := hc.writeMsg(wire.MarshalCertificate(crt.Chain)); err != nil {
+		return nil, err
+	}
+
+	// ServerKeyExchange with the policy-selected ephemeral value.
+	var premasterFn func(clientPub []byte) ([]byte, error)
+	ske := &wire.SKE{Kex: wire.SuiteKex(suite)}
+	switch ske.Kex {
+	case wire.KexECDHE:
+		priv, err := keyex.ECDHEKey(cfg.ECDHEPolicy, now, rnd)
+		if err != nil {
+			return nil, err
+		}
+		ske.Public = priv.PublicKey().Bytes()
+		premasterFn = func(clientPub []byte) ([]byte, error) {
+			pk, err := ecdh.P256().NewPublicKey(clientPub)
+			if err != nil {
+				return nil, err
+			}
+			return priv.ECDH(pk)
+		}
+	case wire.KexDHE:
+		g := ffdh.TestGroup512()
+		seed, err := keyex.DHEPrivate(g, cfg.DHEPolicy, now, rnd)
+		if err != nil {
+			return nil, err
+		}
+		priv := g.PrivateFromSeed(seed)
+		ske.P, ske.G = g.P.Bytes(), g.G.Bytes()
+		ske.Public = g.Bytes(g.Public(priv))
+		premasterFn = func(clientPub []byte) ([]byte, error) {
+			return g.Shared(priv, new(big.Int).SetBytes(clientPub))
+		}
+	default:
+		hc.rc.WriteAlert(record.AlertHandshakeFailure)
+		return nil, fmt.Errorf("tls: unsupported key exchange for suite %04x", suite)
+	}
+	digest := sha256.Sum256(ske.SignedParams(ch.Random[:], sh.Random[:]))
+	sig, err := crt.Key.Sign(cfg.rand(), digest[:], crypto.SHA256)
+	if err != nil {
+		return nil, err
+	}
+	ske.Sig = sig
+	if err := hc.writeMsg(ske.Marshal()); err != nil {
+		return nil, err
+	}
+	if err := hc.writeMsg(&wire.Msg{Type: wire.TypeServerHelloDone}); err != nil {
+		return nil, err
+	}
+
+	// ClientKeyExchange.
+	msg, _, err := hc.readMsg()
+	if err != nil {
+		return nil, err
+	}
+	if msg.Type != wire.TypeClientKeyExchange {
+		return nil, fmt.Errorf("tls: expected ClientKeyExchange, got %d", msg.Type)
+	}
+	clientPub, err := wire.ParseCKE(ske.Kex, msg.Body)
+	if err != nil {
+		return nil, err
+	}
+	premaster, err := premasterFn(clientPub)
+	if err != nil {
+		return nil, err
+	}
+	master := prf.MasterSecret(premaster, ch.Random[:], sh.Random[:])
+
+	// Client CCS + Finished. Only the read direction is armed here: the
+	// NewSessionTicket must still go out in plaintext before our CCS.
+	kb := prf.KeyBlock(master, sh.Random[:], ch.Random[:], 40)
+	preFinished := hc.transcript()
+	if _, ccs, err := hc.readMsg(); err != nil {
+		return nil, err
+	} else if !ccs {
+		return nil, errors.New("tls: expected ChangeCipherSpec")
+	}
+	if err := hc.rc.ArmRead(kb[0:16], kb[32:36]); err != nil {
+		return nil, err
+	}
+	fin, _, err := hc.readMsg()
+	if err != nil {
+		return nil, err
+	}
+	want := prf.FinishedHash(master, "client finished", preFinished)
+	if fin.Type != wire.TypeFinished || !bytesEqual(fin.Body, want) {
+		hc.rc.WriteAlert(record.AlertHandshakeFailure)
+		return nil, errors.New("tls: bad client Finished")
+	}
+
+	st := &session.State{Version: wire.VersionTLS12, Suite: suite, CreatedAt: now}
+	copy(st.MasterSecret[:], master)
+
+	if issueTicket {
+		if err := sendTicket(hc, cfg, st, now); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Cache != nil {
+		cfg.Cache.Put(sh.SessionID, st, now)
+	}
+	if err := finishServer(hc, master, kb); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// resume completes an abbreviated handshake from cached/ticket state.
+func resume(hc *hsConn, cfg *Config, ch *wire.ClientHello, st *session.State, now time.Time) error {
+	rnd := cfg.rand()
+	sh := &wire.ServerHello{Suite: st.Suite, SessionID: ch.SessionID}
+	if _, err := io.ReadFull(rnd, sh.Random[:]); err != nil {
+		return err
+	}
+	reissue := cfg.Tickets != nil && ch.OfferTicket
+	sh.TicketAck = reissue
+	if err := hc.writeMsg(sh.Marshal()); err != nil {
+		return err
+	}
+	if reissue {
+		if err := sendTicket(hc, cfg, st, now); err != nil {
+			return err
+		}
+	}
+	master := st.MasterSecret[:]
+	// Server Finished first on resumption.
+	preFinished := hc.transcript()
+	if err := hc.rc.WriteRecord(record.TypeChangeCipherSpec, []byte{1}); err != nil {
+		return err
+	}
+	kb := prf.KeyBlock(master, sh.Random[:], ch.Random[:], 40)
+	if err := hc.rc.ArmWrite(kb[16:32], kb[36:40]); err != nil {
+		return err
+	}
+	finMsg := &wire.Msg{Type: wire.TypeFinished, Body: prf.FinishedHash(master, "server finished", preFinished)}
+	if err := hc.writeMsg(finMsg); err != nil {
+		return err
+	}
+	// Client CCS + Finished.
+	if _, ccs, err := hc.readMsg(); err != nil {
+		return err
+	} else if !ccs {
+		return errors.New("tls: expected ChangeCipherSpec")
+	}
+	if err := hc.rc.ArmRead(kb[0:16], kb[32:36]); err != nil {
+		return err
+	}
+	preClient := hc.transcript()
+	fin, _, err := hc.readMsg()
+	if err != nil {
+		return err
+	}
+	want := prf.FinishedHash(master, "client finished", preClient)
+	if fin.Type != wire.TypeFinished || !bytesEqual(fin.Body, want) {
+		return errors.New("tls: bad client Finished on resumption")
+	}
+	return nil
+}
+
+func sendTicket(hc *hsConn, cfg *Config, st *session.State, now time.Time) error {
+	k := cfg.Tickets.IssuingKey(now)
+	tkt, err := k.Seal(st, cfg.rand())
+	if err != nil {
+		return err
+	}
+	hint := cfg.TicketHint
+	if hint == 0 {
+		hint = 2 * time.Hour
+	}
+	nst := &wire.NewSessionTicket{LifetimeHint: hint, Ticket: tkt}
+	return hc.writeMsg(nst.Marshal())
+}
+
+func finishServer(hc *hsConn, master, kb []byte) error {
+	preFinished := hc.transcript()
+	if err := hc.rc.WriteRecord(record.TypeChangeCipherSpec, []byte{1}); err != nil {
+		return err
+	}
+	if err := hc.rc.ArmWrite(kb[16:32], kb[36:40]); err != nil {
+		return err
+	}
+	fin := &wire.Msg{Type: wire.TypeFinished, Body: prf.FinishedHash(master, "server finished", preFinished)}
+	return hc.writeMsg(fin)
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	var v byte
+	for i := range a {
+		v |= a[i] ^ b[i]
+	}
+	return v == 0
+}

@@ -1,0 +1,101 @@
+// Package vulnwindow models §6's security-harm metric: for each domain
+// and shortcut mechanism, the window during which a later server-side
+// compromise retroactively decrypts a recorded connection; per-domain
+// windows combine by taking the worst mechanism.
+package vulnwindow
+
+import "time"
+
+// Mechanism identifies the crypto shortcut behind an exposure.
+type Mechanism string
+
+// The four measured mechanisms.
+const (
+	MechTicket Mechanism = "ticket"
+	MechCache  Mechanism = "cache"
+	MechDHE    Mechanism = "dhe"
+	MechECDHE  Mechanism = "ecdhe"
+)
+
+// Exposure is one (domain, mechanism) vulnerability window.
+type Exposure struct {
+	Domain    string
+	Mechanism Mechanism
+	Window    time.Duration
+}
+
+// TicketWindow is the STEK exposure: a connection made any time during
+// the key's observed lifetime (span) stays decryptable until the key is
+// destroyed, plus the tail during which old tickets are still accepted.
+func TicketWindow(spanDays int, acceptance time.Duration) time.Duration {
+	return time.Duration(spanDays)*24*time.Hour + acceptance
+}
+
+// CacheWindow is the session-cache exposure: the measured time the server
+// keeps the master secret resumable.
+func CacheWindow(lifetime time.Duration) time.Duration {
+	return lifetime
+}
+
+// KexWindow is the finite-field or elliptic DH exposure for a key-exchange
+// value observed on spanDays distinct days. Sub-day reuse is treated as
+// no exposure (the paper reports reuse at day granularity).
+func KexWindow(spanDays int) time.Duration {
+	if spanDays < 1 {
+		return 0
+	}
+	return time.Duration(spanDays) * 24 * time.Hour
+}
+
+// Combine reduces exposures to the per-domain maximum window: an
+// eavesdropped connection is as vulnerable as the worst shortcut in play.
+func Combine(exps []Exposure) map[string]time.Duration {
+	out := make(map[string]time.Duration)
+	for _, e := range exps {
+		if w, ok := out[e.Domain]; !ok || e.Window > w {
+			out[e.Domain] = e.Window
+		}
+	}
+	return out
+}
+
+// Classification buckets combined windows by exceedance threshold
+// (Figure 8's headline cut points). Comparisons are strict: a window of
+// exactly 24h does not count as "over 24h".
+type Classification struct {
+	Total   int // domains with any exposure
+	Over24h int
+	Over7d  int
+	Over30d int
+}
+
+// Frac returns n as a fraction of Total (0 when Total is 0).
+func (c Classification) Frac(n int) float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return float64(n) / float64(c.Total)
+}
+
+// Classify combines exposures and counts threshold exceedances.
+func Classify(exps []Exposure) Classification {
+	return ClassifyCombined(Combine(exps))
+}
+
+// ClassifyCombined counts exceedances over already-combined windows.
+func ClassifyCombined(windows map[string]time.Duration) Classification {
+	c := Classification{Total: len(windows)}
+	day := 24 * time.Hour
+	for _, w := range windows {
+		if w > day {
+			c.Over24h++
+		}
+		if w > 7*day {
+			c.Over7d++
+		}
+		if w > 30*day {
+			c.Over30d++
+		}
+	}
+	return c
+}

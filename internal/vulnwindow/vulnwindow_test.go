@@ -1,0 +1,100 @@
+package vulnwindow
+
+import (
+	"testing"
+	"time"
+)
+
+const day = 24 * time.Hour
+
+func TestTicketWindow(t *testing.T) {
+	// A STEK observed across 10 days, with tickets accepted 28h after
+	// issuance: any connection in the span is exposed for span + tail.
+	if got, want := TicketWindow(10, 28*time.Hour), 10*day+28*time.Hour; got != want {
+		t.Errorf("TicketWindow(10, 28h) = %v, want %v", got, want)
+	}
+	// Daily rotation with a sub-day acceptance tail never exceeds 48h.
+	if got := TicketWindow(0, 18*time.Hour); got != 18*time.Hour {
+		t.Errorf("TicketWindow(0, 18h) = %v, want 18h", got)
+	}
+}
+
+func TestCacheWindow(t *testing.T) {
+	if got := CacheWindow(28 * time.Hour); got != 28*time.Hour {
+		t.Errorf("CacheWindow = %v, want the measured lifetime", got)
+	}
+}
+
+func TestKexWindow(t *testing.T) {
+	if got := KexWindow(0); got != 0 {
+		t.Errorf("KexWindow(0) = %v, want 0 (sub-day reuse is not counted)", got)
+	}
+	if got := KexWindow(60); got != 60*day {
+		t.Errorf("KexWindow(60) = %v, want %v", got, 60*day)
+	}
+}
+
+func TestCombineTakesPerDomainMax(t *testing.T) {
+	exps := []Exposure{
+		{Domain: "a.example", Mechanism: MechTicket, Window: 10 * day},
+		{Domain: "a.example", Mechanism: MechCache, Window: 28 * time.Hour},
+		{Domain: "a.example", Mechanism: MechECDHE, Window: 60 * day},
+		{Domain: "b.example", Mechanism: MechCache, Window: 5 * time.Minute},
+	}
+	combined := Combine(exps)
+	if len(combined) != 2 {
+		t.Fatalf("combined %d domains, want 2", len(combined))
+	}
+	if combined["a.example"] != 60*day {
+		t.Errorf("a.example window = %v, want the ECDHE max %v", combined["a.example"], 60*day)
+	}
+	if combined["b.example"] != 5*time.Minute {
+		t.Errorf("b.example window = %v, want 5m", combined["b.example"])
+	}
+}
+
+// TestClassifyGradient exercises the Figure-8 exceedance gradient: strict
+// thresholds, monotone counts, and the per-domain max combination.
+func TestClassifyGradient(t *testing.T) {
+	exps := []Exposure{
+		// Exactly at thresholds: strictly-greater comparisons exclude these.
+		{Domain: "at24h.example", Mechanism: MechCache, Window: 24 * time.Hour},
+		{Domain: "at7d.example", Mechanism: MechTicket, Window: 7 * day},
+		// Just over.
+		{Domain: "over24h.example", Mechanism: MechCache, Window: 24*time.Hour + time.Second},
+		{Domain: "over7d.example", Mechanism: MechTicket, Window: 8 * day},
+		{Domain: "over30d.example", Mechanism: MechTicket, Window: 44 * day},
+		// Multiple mechanisms on one domain: only the max counts, once.
+		{Domain: "multi.example", Mechanism: MechCache, Window: time.Hour},
+		{Domain: "multi.example", Mechanism: MechDHE, Window: 31 * day},
+		// No meaningful exposure.
+		{Domain: "zero.example", Mechanism: MechCache, Window: 0},
+	}
+	c := Classify(exps)
+	if c.Total != 7 {
+		t.Errorf("Total = %d, want 7 distinct domains", c.Total)
+	}
+	if c.Over24h != 5 {
+		t.Errorf("Over24h = %d, want 5 (a 7-day window is also over 24h)", c.Over24h)
+	}
+	if c.Over7d != 3 {
+		t.Errorf("Over7d = %d, want 3", c.Over7d)
+	}
+	if c.Over30d != 2 {
+		t.Errorf("Over30d = %d, want 2", c.Over30d)
+	}
+	if !(c.Over24h >= c.Over7d && c.Over7d >= c.Over30d) {
+		t.Error("gradient must be monotone")
+	}
+}
+
+func TestFrac(t *testing.T) {
+	c := Classification{Total: 200, Over24h: 76}
+	if got := c.Frac(c.Over24h); got != 0.38 {
+		t.Errorf("Frac = %v, want 0.38", got)
+	}
+	var empty Classification
+	if got := empty.Frac(5); got != 0 {
+		t.Errorf("Frac on empty classification = %v, want 0", got)
+	}
+}

@@ -1,0 +1,444 @@
+// Package wire encodes and decodes the TLS 1.2 handshake messages and
+// extensions this repository's engines speak: ClientHello, ServerHello,
+// Certificate, ServerKeyExchange, ServerHelloDone, ClientKeyExchange,
+// Finished, NewSessionTicket, plus the SNI and session-ticket extensions.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// Cipher suites (TLS registry values; the study offers restricted subsets
+// to isolate each key-exchange family, exactly like the paper's zgrab).
+const (
+	SuiteECDHE uint16 = 0xC02B // ECDHE-ECDSA-AES128-GCM-SHA256
+	SuiteDHE   uint16 = 0x009E // DHE-AES128-GCM-SHA256
+	SuiteRSA   uint16 = 0x009C // RSA-AES128-GCM-SHA256
+)
+
+// SuiteName renders a cipher-suite value for humans.
+func SuiteName(s uint16) string {
+	switch s {
+	case SuiteECDHE:
+		return "ECDHE-ECDSA-AES128-GCM-SHA256"
+	case SuiteDHE:
+		return "DHE-AES128-GCM-SHA256"
+	case SuiteRSA:
+		return "RSA-AES128-GCM-SHA256"
+	case 0xC02F:
+		return "ECDHE-RSA-AES128-GCM-SHA256"
+	default:
+		return fmt.Sprintf("0x%04X", s)
+	}
+}
+
+// Kex identifies the key-exchange family of a negotiated suite.
+type Kex uint8
+
+const (
+	KexNone Kex = iota
+	KexDHE
+	KexECDHE
+	KexRSA
+)
+
+func (k Kex) String() string {
+	switch k {
+	case KexDHE:
+		return "DHE"
+	case KexECDHE:
+		return "ECDHE"
+	case KexRSA:
+		return "RSA"
+	}
+	return "none"
+}
+
+// SuiteKex maps a suite to its KEX family.
+func SuiteKex(s uint16) Kex {
+	switch s {
+	case SuiteECDHE:
+		return KexECDHE
+	case SuiteDHE:
+		return KexDHE
+	case SuiteRSA:
+		return KexRSA
+	}
+	return KexNone
+}
+
+// Handshake message types.
+const (
+	TypeClientHello       uint8 = 1
+	TypeServerHello       uint8 = 2
+	TypeNewSessionTicket  uint8 = 4
+	TypeCertificate       uint8 = 11
+	TypeServerKeyExchange uint8 = 12
+	TypeServerHelloDone   uint8 = 14
+	TypeClientKeyExchange uint8 = 16
+	TypeFinished          uint8 = 20
+)
+
+// Extension numbers.
+const (
+	ExtSNI           uint16 = 0
+	ExtSessionTicket uint16 = 35
+)
+
+// VersionTLS12 is the only protocol version the engines negotiate.
+const VersionTLS12 uint16 = 0x0303
+
+// Msg is one handshake message: type byte plus body (header excluded).
+type Msg struct {
+	Type uint8
+	Body []byte
+}
+
+// Marshal frames the message with its 4-byte handshake header.
+func (m *Msg) Marshal() []byte {
+	out := make([]byte, 4+len(m.Body))
+	out[0] = m.Type
+	putUint24(out[1:4], len(m.Body))
+	copy(out[4:], m.Body)
+	return out
+}
+
+// ParseMsgs splits a concatenation of handshake messages.
+func ParseMsgs(b []byte) ([]Msg, error) {
+	var out []Msg
+	for len(b) > 0 {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("wire: short handshake header")
+		}
+		n := uint24(b[1:4])
+		if len(b) < 4+n {
+			return nil, fmt.Errorf("wire: truncated handshake message")
+		}
+		out = append(out, Msg{Type: b[0], Body: b[4 : 4+n]})
+		b = b[4+n:]
+	}
+	return out, nil
+}
+
+func putUint24(b []byte, v int) {
+	b[0], b[1], b[2] = byte(v>>16), byte(v>>8), byte(v)
+}
+func uint24(b []byte) int { return int(b[0])<<16 | int(b[1])<<8 | int(b[2]) }
+
+// ---- ClientHello ----
+
+type ClientHello struct {
+	Random      [32]byte
+	SessionID   []byte
+	Suites      []uint16
+	ServerName  string
+	OfferTicket bool   // include an (empty or filled) session_ticket ext
+	Ticket      []byte // non-empty: resume via this ticket
+}
+
+func (h *ClientHello) Marshal() *Msg {
+	b := newBuilder()
+	b.u16(VersionTLS12)
+	b.raw(h.Random[:])
+	b.vec8(h.SessionID)
+	b.u16(uint16(2 * len(h.Suites)))
+	for _, s := range h.Suites {
+		b.u16(s)
+	}
+	b.raw([]byte{1, 0}) // compression: null only
+	ext := newBuilder()
+	if h.ServerName != "" {
+		sni := newBuilder()
+		inner := newBuilder()
+		inner.byte(0)
+		inner.vec16([]byte(h.ServerName))
+		sni.vec16(inner.bytes())
+		ext.u16(ExtSNI)
+		ext.vec16(sni.bytes())
+	}
+	if h.OfferTicket || len(h.Ticket) > 0 {
+		ext.u16(ExtSessionTicket)
+		ext.vec16(h.Ticket)
+	}
+	b.vec16(ext.bytes())
+	return &Msg{Type: TypeClientHello, Body: b.bytes()}
+}
+
+func ParseClientHello(body []byte) (*ClientHello, error) {
+	p := &parser{b: body}
+	h := &ClientHello{}
+	if p.u16() != VersionTLS12 {
+		return nil, fmt.Errorf("wire: bad client version")
+	}
+	copy(h.Random[:], p.raw(32))
+	h.SessionID = p.vec8()
+	ns := int(p.u16()) / 2
+	for i := 0; i < ns; i++ {
+		h.Suites = append(h.Suites, p.u16())
+	}
+	p.vec8() // compression
+	exts := p.vec16()
+	ep := &parser{b: exts}
+	for len(ep.b) > 0 && ep.err == nil {
+		typ := ep.u16()
+		data := ep.vec16()
+		switch typ {
+		case ExtSNI:
+			sp := &parser{b: data}
+			list := sp.vec16()
+			lp := &parser{b: list}
+			lp.raw(1)
+			h.ServerName = string(lp.vec16())
+		case ExtSessionTicket:
+			h.OfferTicket = true
+			h.Ticket = data
+		}
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	return h, nil
+}
+
+// ---- ServerHello ----
+
+type ServerHello struct {
+	Random    [32]byte
+	SessionID []byte
+	Suite     uint16
+	TicketAck bool // server will send NewSessionTicket
+}
+
+func (h *ServerHello) Marshal() *Msg {
+	b := newBuilder()
+	b.u16(VersionTLS12)
+	b.raw(h.Random[:])
+	b.vec8(h.SessionID)
+	b.u16(h.Suite)
+	b.byte(0) // compression null
+	ext := newBuilder()
+	if h.TicketAck {
+		ext.u16(ExtSessionTicket)
+		ext.vec16(nil)
+	}
+	b.vec16(ext.bytes())
+	return &Msg{Type: TypeServerHello, Body: b.bytes()}
+}
+
+func ParseServerHello(body []byte) (*ServerHello, error) {
+	p := &parser{b: body}
+	h := &ServerHello{}
+	if p.u16() != VersionTLS12 {
+		return nil, fmt.Errorf("wire: bad server version")
+	}
+	copy(h.Random[:], p.raw(32))
+	h.SessionID = p.vec8()
+	h.Suite = p.u16()
+	p.raw(1)
+	exts := p.vec16()
+	ep := &parser{b: exts}
+	for len(ep.b) > 0 && ep.err == nil {
+		typ := ep.u16()
+		ep.vec16()
+		if typ == ExtSessionTicket {
+			h.TicketAck = true
+		}
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	return h, nil
+}
+
+// ---- Certificate ----
+
+func MarshalCertificate(chain [][]byte) *Msg {
+	inner := newBuilder()
+	for _, c := range chain {
+		inner.vec24(c)
+	}
+	b := newBuilder()
+	b.vec24(inner.bytes())
+	return &Msg{Type: TypeCertificate, Body: b.bytes()}
+}
+
+func ParseCertificate(body []byte) ([][]byte, error) {
+	p := &parser{b: body}
+	all := p.vec24()
+	if p.err != nil {
+		return nil, p.err
+	}
+	var chain [][]byte
+	cp := &parser{b: all}
+	for len(cp.b) > 0 && cp.err == nil {
+		chain = append(chain, cp.vec24())
+	}
+	if cp.err != nil {
+		return nil, cp.err
+	}
+	return chain, nil
+}
+
+// ---- ServerKeyExchange ----
+
+// SKE carries the server's ephemeral value. For DHE: P, G, Public are the
+// group parameters and value. For ECDHE: Public is the uncompressed P-256
+// point (P and G are nil). Sig is an ECDSA/RSA signature over
+// client_random || server_random || params.
+type SKE struct {
+	Kex    Kex
+	P, G   []byte
+	Public []byte
+	Sig    []byte
+}
+
+func (s *SKE) params() []byte {
+	b := newBuilder()
+	if s.Kex == KexDHE {
+		b.vec16(s.P)
+		b.vec16(s.G)
+		b.vec16(s.Public)
+	} else {
+		b.byte(3) // named_curve
+		b.u16(23) // secp256r1
+		b.vec8(s.Public)
+	}
+	return b.bytes()
+}
+
+// SignedParams is the blob the server signs (and the client verifies).
+func (s *SKE) SignedParams(clientRandom, serverRandom []byte) []byte {
+	out := make([]byte, 0, 64+len(s.Public)+len(s.P)+len(s.G)+16)
+	out = append(out, clientRandom...)
+	out = append(out, serverRandom...)
+	return append(out, s.params()...)
+}
+
+func (s *SKE) Marshal() *Msg {
+	b := newBuilder()
+	b.raw(s.params())
+	b.u16(0x0403) // ecdsa_secp256r1_sha256 (informational)
+	b.vec16(s.Sig)
+	return &Msg{Type: TypeServerKeyExchange, Body: b.bytes()}
+}
+
+func ParseSKE(kex Kex, body []byte) (*SKE, error) {
+	p := &parser{b: body}
+	s := &SKE{Kex: kex}
+	if kex == KexDHE {
+		s.P = p.vec16()
+		s.G = p.vec16()
+		s.Public = p.vec16()
+	} else {
+		p.raw(3)
+		s.Public = p.vec8()
+	}
+	p.u16() // sig alg
+	s.Sig = p.vec16()
+	if p.err != nil {
+		return nil, p.err
+	}
+	return s, nil
+}
+
+// ---- ClientKeyExchange ----
+
+func MarshalCKE(kex Kex, public []byte) *Msg {
+	b := newBuilder()
+	if kex == KexDHE {
+		b.vec16(public)
+	} else {
+		b.vec8(public)
+	}
+	return &Msg{Type: TypeClientKeyExchange, Body: b.bytes()}
+}
+
+func ParseCKE(kex Kex, body []byte) ([]byte, error) {
+	p := &parser{b: body}
+	var pub []byte
+	if kex == KexDHE {
+		pub = p.vec16()
+	} else {
+		pub = p.vec8()
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	return pub, nil
+}
+
+// ---- NewSessionTicket ----
+
+type NewSessionTicket struct {
+	LifetimeHint time.Duration
+	Ticket       []byte
+}
+
+func (t *NewSessionTicket) Marshal() *Msg {
+	b := newBuilder()
+	b.u32(uint32(t.LifetimeHint / time.Second))
+	b.vec16(t.Ticket)
+	return &Msg{Type: TypeNewSessionTicket, Body: b.bytes()}
+}
+
+func ParseNewSessionTicket(body []byte) (*NewSessionTicket, error) {
+	p := &parser{b: body}
+	t := &NewSessionTicket{}
+	t.LifetimeHint = time.Duration(p.u32()) * time.Second
+	t.Ticket = p.vec16()
+	if p.err != nil {
+		return nil, p.err
+	}
+	return t, nil
+}
+
+// ---- builder / parser ----
+
+type builder struct{ b []byte }
+
+func newBuilder() *builder       { return &builder{} }
+func (w *builder) bytes() []byte { return w.b }
+func (w *builder) byte(v byte)   { w.b = append(w.b, v) }
+func (w *builder) raw(v []byte)  { w.b = append(w.b, v...) }
+func (w *builder) u16(v uint16)  { w.b = binary.BigEndian.AppendUint16(w.b, v) }
+func (w *builder) u32(v uint32)  { w.b = binary.BigEndian.AppendUint32(w.b, v) }
+func (w *builder) vec8(v []byte) {
+	w.byte(byte(len(v)))
+	w.raw(v)
+}
+func (w *builder) vec16(v []byte) {
+	w.u16(uint16(len(v)))
+	w.raw(v)
+}
+func (w *builder) vec24(v []byte) {
+	w.b = append(w.b, byte(len(v)>>16), byte(len(v)>>8), byte(len(v)))
+	w.raw(v)
+}
+
+type parser struct {
+	b   []byte
+	err error
+}
+
+func (p *parser) raw(n int) []byte {
+	if p.err != nil || len(p.b) < n {
+		p.fail()
+		return make([]byte, n)
+	}
+	out := p.b[:n]
+	p.b = p.b[n:]
+	return out
+}
+func (p *parser) fail() {
+	if p.err == nil {
+		p.err = fmt.Errorf("wire: truncated message")
+	}
+	p.b = nil
+}
+func (p *parser) u16() uint16   { return binary.BigEndian.Uint16(p.raw(2)) }
+func (p *parser) u32() uint32   { return binary.BigEndian.Uint32(p.raw(4)) }
+func (p *parser) vec8() []byte  { return p.raw(int(p.raw(1)[0])) }
+func (p *parser) vec16() []byte { return p.raw(int(p.u16())) }
+func (p *parser) vec24() []byte { return p.raw(uint24(p.raw(3))) }
