@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench fmt
+.PHONY: build test race bench bench-campaign fmt
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,12 @@ race:
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Full-scale campaign benchmark (1000 domains x 44 days, 16 workers);
+# refreshes the committed BENCH_campaign.json trajectory point.
+bench-campaign:
+	BENCH_CAMPAIGN_FULL=1 BENCH_CAMPAIGN_OUT=BENCH_campaign.json \
+		$(GO) test -run=NONE -bench=CampaignE2E -benchtime=1x .
 
 fmt:
 	gofmt -l -w .

@@ -1,0 +1,86 @@
+// End-to-end campaign benchmark: times study.Run itself (population
+// build, every scan type, grouping) and reports handshake throughput.
+// This is the BENCH_campaign.json trajectory point — run `make
+// bench-campaign` to refresh the committed numbers at the full bench
+// scale (1000 domains x 44 days).
+package tlsshortcuts_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"tlsshortcuts/internal/study"
+)
+
+// benchCampaignSeedSeconds is the same campaign timed at the pre-perf-pass
+// engine (commit 28f7512, full bench scale, Workers 16, one CPU): the
+// baseline the >=2x acceptance bar is measured against.
+const benchCampaignSeedSeconds = 101.75
+
+func BenchmarkCampaignE2E(b *testing.B) {
+	size, days := 300, 10
+	if testing.Short() {
+		size, days = 100, 4 // CI smoke: prints the number without the cost
+	}
+	if os.Getenv("BENCH_CAMPAIGN_FULL") != "" {
+		size, days = 1000, 44
+	}
+	b.ReportAllocs()
+
+	var dials uint64
+	var elapsed time.Duration
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		ds, err := study.Run(study.Options{ListSize: size, Days: days, Seed: 3, Workers: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		elapsed += time.Since(start)
+		dials += ds.Dials
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+
+	hsPerSec := float64(dials) / elapsed.Seconds()
+	b.ReportMetric(hsPerSec, "handshakes/s")
+
+	out := os.Getenv("BENCH_CAMPAIGN_OUT")
+	if out == "" {
+		return
+	}
+	secPerOp := elapsed.Seconds() / float64(b.N)
+	doc := map[string]interface{}{
+		"benchmark":          "CampaignE2E",
+		"list_size":          size,
+		"days":               days,
+		"workers":            16,
+		"seed":               3,
+		"iterations":         b.N,
+		"seconds_per_op":     secPerOp,
+		"ns_per_op":          int64(elapsed) / int64(b.N),
+		"handshakes_per_op":  dials / uint64(b.N),
+		"handshakes_per_sec": hsPerSec,
+		"allocs_per_op":      (ms1.Mallocs - ms0.Mallocs) / uint64(b.N),
+		"alloc_bytes_per_op": (ms1.TotalAlloc - ms0.TotalAlloc) / uint64(b.N),
+	}
+	if size == 1000 && days == 44 {
+		doc["baseline_seed_seconds"] = benchCampaignSeedSeconds
+		doc["speedup_vs_seed"] = benchCampaignSeedSeconds / secPerOp
+		doc["baseline_note"] = "seed engine (commit 28f7512) timed with the identical options on the same single-CPU host"
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(enc, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote %s", out)
+}

@@ -1,0 +1,67 @@
+// Package drbg is a tiny deterministic random byte stream (SHA-256 in
+// counter mode) used to make the measurement campaign reproducible: the
+// scanner derives per-connection client entropy from (seed, domain, probe
+// label), and simulated terminators derive per-connection server entropy
+// from (terminator seed, client random). Identical seed material yields an
+// identical stream, so the same study.Options produce a byte-identical
+// Dataset on every run.
+//
+// This is a simulation tool, not a cryptographic DRBG for production use.
+package drbg
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// Reader produces the deterministic stream block_i = SHA-256(key || i),
+// where key = SHA-256 over the length-prefixed seed parts.
+type Reader struct {
+	key [32]byte
+	ctr uint64
+	buf [32]byte
+	off int
+}
+
+// New derives a stream from the given seed parts. Parts are
+// length-prefixed before hashing so ("ab","c") and ("a","bc") differ.
+func New(parts ...[]byte) *Reader {
+	h := sha256.New()
+	var l [8]byte
+	for _, p := range parts {
+		binary.BigEndian.PutUint64(l[:], uint64(len(p)))
+		h.Write(l[:])
+		h.Write(p)
+	}
+	r := &Reader{off: 32} // empty buffer: first Read derives block 0
+	h.Sum(r.key[:0])
+	return r
+}
+
+// NewString is New over string parts.
+func NewString(parts ...string) *Reader {
+	bs := make([][]byte, len(parts))
+	for i, p := range parts {
+		bs[i] = []byte(p)
+	}
+	return New(bs...)
+}
+
+// Read fills p from the stream. It never fails.
+func (r *Reader) Read(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		if r.off == len(r.buf) {
+			var blk [40]byte
+			copy(blk[:32], r.key[:])
+			binary.BigEndian.PutUint64(blk[32:], r.ctr)
+			r.ctr++
+			r.buf = sha256.Sum256(blk[:])
+			r.off = 0
+		}
+		c := copy(p, r.buf[r.off:])
+		r.off += c
+		p = p[c:]
+	}
+	return n, nil
+}

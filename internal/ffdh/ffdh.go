@@ -16,6 +16,21 @@ import (
 type Group struct {
 	P *big.Int
 	G *big.Int
+
+	paramOnce sync.Once
+	pBytes    []byte
+	gBytes    []byte
+}
+
+// ParamBytes returns the big-endian encodings of P and G, computed once
+// per group — the server key-exchange message carries them on every full
+// handshake. Callers must not modify the returned slices.
+func (g *Group) ParamBytes() (p, gen []byte) {
+	g.paramOnce.Do(func() {
+		g.pBytes = g.P.Bytes()
+		g.gBytes = g.G.Bytes()
+	})
+	return g.pBytes, g.gBytes
 }
 
 var (

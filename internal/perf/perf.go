@@ -1,0 +1,60 @@
+// Package perf holds the process-wide switches for the campaign engine's
+// performance layers. Every switch defaults to on; the equivalence tests
+// flip them off to prove the fast paths are observationally identical to
+// the straightforward ones (same seed -> byte-identical Dataset).
+//
+// The switches exist for verification only — production code never turns
+// them off.
+package perf
+
+import "sync/atomic"
+
+var (
+	cryptoCaches   atomic.Bool // epoch-keyed KEX caches, cert-marshal/parse caches
+	clientKexReuse atomic.Bool // scanner reuses its client-side ephemeral keys
+	bufferedPipes  atomic.Bool // simnet dials buffered pipes instead of net.Pipe
+	reportMemoized atomic.Bool // study.BuildReport memoizes per Dataset
+	kexOnlyProbes  atomic.Bool // forced-suite scans disconnect after the SKE
+)
+
+func init() {
+	cryptoCaches.Store(true)
+	clientKexReuse.Store(true)
+	bufferedPipes.Store(true)
+	reportMemoized.Store(true)
+	kexOnlyProbes.Store(true)
+}
+
+// CryptoCaches reports whether the epoch-keyed crypto caches are enabled.
+func CryptoCaches() bool { return cryptoCaches.Load() }
+
+// SetCryptoCaches toggles the epoch-keyed crypto caches (tests only).
+func SetCryptoCaches(on bool) { cryptoCaches.Store(on) }
+
+// ClientKexReuse reports whether the scanner reuses client KEX keys.
+func ClientKexReuse() bool { return clientKexReuse.Load() }
+
+// SetClientKexReuse toggles scanner client-key reuse (tests only).
+func SetClientKexReuse(on bool) { clientKexReuse.Store(on) }
+
+// BufferedPipes reports whether simnet uses the buffered transport.
+func BufferedPipes() bool { return bufferedPipes.Load() }
+
+// SetBufferedPipes toggles the buffered transport (tests only).
+func SetBufferedPipes(on bool) { bufferedPipes.Store(on) }
+
+// ReportMemoized reports whether BuildReport memoizes per Dataset.
+func ReportMemoized() bool { return reportMemoized.Load() }
+
+// SetReportMemoized toggles BuildReport memoization (tests only).
+func SetReportMemoized(on bool) { reportMemoized.Store(on) }
+
+// KexOnlyProbes reports whether key-exchange scans stop after capturing
+// the ServerKeyExchange (zgrab-style) instead of completing the
+// handshake. Everything those scans record is on the wire before the
+// client's first flight, so the abbreviated probe observes exactly what
+// the full handshake would.
+func KexOnlyProbes() bool { return kexOnlyProbes.Load() }
+
+// SetKexOnlyProbes toggles SKE-and-disconnect probing (tests only).
+func SetKexOnlyProbes(on bool) { kexOnlyProbes.Store(on) }

@@ -253,6 +253,9 @@ func (b *builder) config(beh Behavior, mgr ticket.Manager, cache *session.Cache,
 		DisableECDHE: !beh.SupportECDHE,
 		RestartBase:  b.start,
 		TicketHint:   hint,
+		// Deterministic per-connection server entropy (the client random
+		// salts each stream), so a campaign replays byte-identically.
+		RandSeed: []byte("rand:" + kexSeed),
 	}
 	if beh.Tickets {
 		cfg.Tickets = mgr

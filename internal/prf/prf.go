@@ -5,24 +5,36 @@ package prf
 import (
 	"crypto/hmac"
 	"crypto/sha256"
+	"hash"
 )
+
+// phash expands P_SHA256 under an already-keyed HMAC. One instance is
+// reset between MACs instead of re-keying per block: hmac.New hashes the
+// key into both pads every call, which tripled the hashing work for the
+// three MACs per output block.
+func phash(h hash.Hash, seed []byte, n int) []byte {
+	out := make([]byte, 0, n)
+	var a [sha256.Size]byte
+	h.Reset()
+	h.Write(seed)
+	h.Sum(a[:0]) // A(1)
+	for len(out) < n {
+		h.Reset()
+		h.Write(a[:])
+		h.Write(seed)
+		out = h.Sum(out)
+		// A(i+1) = HMAC(A(i)); Write copies a into the hash state, so
+		// summing back into a is safe.
+		h.Reset()
+		h.Write(a[:])
+		h.Sum(a[:0])
+	}
+	return out[:n]
+}
 
 // PHash is P_SHA256(secret, seed) expanded to n bytes.
 func PHash(secret, seed []byte, n int) []byte {
-	out := make([]byte, 0, n)
-	mac := func(data ...[]byte) []byte {
-		h := hmac.New(sha256.New, secret)
-		for _, d := range data {
-			h.Write(d)
-		}
-		return h.Sum(nil)
-	}
-	a := mac(seed) // A(1)
-	for len(out) < n {
-		out = append(out, mac(a, seed)...)
-		a = mac(a)
-	}
-	return out[:n]
+	return phash(hmac.New(sha256.New, secret), seed, n)
 }
 
 // PRF is the TLS 1.2 PRF: P_SHA256(secret, label || seed).
@@ -31,6 +43,27 @@ func PRF(secret []byte, label string, seed []byte, n int) []byte {
 	ls = append(ls, label...)
 	ls = append(ls, seed...)
 	return PHash(secret, ls, n)
+}
+
+// Expander amortizes the HMAC keying across the several PRF calls a
+// handshake makes under one secret (key expansion plus two Finished
+// hashes): keying HMAC-SHA256 costs two compression rounds, so reusing
+// one keyed instance drops a third of the per-connection PRF hashing.
+type Expander struct {
+	mac hash.Hash
+	ls  []byte
+}
+
+// NewExpander returns an Expander keyed with secret.
+func NewExpander(secret []byte) *Expander {
+	return &Expander{mac: hmac.New(sha256.New, secret)}
+}
+
+// PRF is the TLS 1.2 PRF under the expander's secret.
+func (e *Expander) PRF(label string, seed []byte, n int) []byte {
+	e.ls = append(e.ls[:0], label...)
+	e.ls = append(e.ls, seed...)
+	return phash(e.mac, e.ls, n)
 }
 
 // MasterSecret derives the 48-byte master secret from a premaster secret

@@ -45,7 +45,13 @@ type halfConn struct {
 type Conn struct {
 	c       net.Conn
 	in, out halfConn
-	rbuf    []byte
+	// wbuf is the reusable outgoing-record scratch. Both in-memory pipe
+	// flavors (net.Pipe and simnet's buffered pipe) consume the bytes
+	// before Write returns, so the buffer is free again at the next call.
+	wbuf []byte
+	// rbuf is the reusable incoming-record scratch: a Record's Payload is
+	// only valid until the next ReadRecord on the same Conn.
+	rbuf []byte
 }
 
 // NewConn wraps c; both directions start in plaintext.
@@ -83,14 +89,21 @@ func aad(seq uint64, typ uint8, n int) []byte {
 // Seal protects plain for the armed state; the explicit nonce (the
 // sequence number) is prepended to the ciphertext, as on the real wire.
 func Seal(h *halfConn, typ uint8, plain []byte) []byte {
+	return sealInto(make([]byte, 0, 8+len(plain)+16), h, typ, plain)
+}
+
+// sealInto appends the protected payload (explicit nonce || ciphertext ||
+// tag) to dst and returns the extended slice.
+func sealInto(dst []byte, h *halfConn, typ uint8, plain []byte) []byte {
 	var nonce [12]byte
 	copy(nonce[:4], h.salt[:])
 	binary.BigEndian.PutUint64(nonce[4:], h.seq)
-	out := make([]byte, 8, 8+len(plain)+16)
-	binary.BigEndian.PutUint64(out, h.seq)
-	out = h.aead.Seal(out, nonce[:], plain, aad(h.seq, typ, len(plain)))
+	var seq [8]byte
+	binary.BigEndian.PutUint64(seq[:], h.seq)
+	dst = append(dst, seq[:]...)
+	dst = h.aead.Seal(dst, nonce[:], plain, aad(h.seq, typ, len(plain)))
 	h.seq++
-	return out
+	return dst
 }
 
 // Open reverses Seal. It is exported (with OpenPayload) so the attacker
@@ -123,19 +136,30 @@ func NewAEAD(key []byte) (cipher.AEAD, error) {
 }
 
 // WriteRecord writes one record, protecting it if the direction is armed.
+// The frame is assembled in the connection's reusable scratch buffer so
+// steady-state writes allocate nothing.
 func (rc *Conn) WriteRecord(typ uint8, payload []byte) error {
-	if rc.out.aead != nil {
-		payload = Seal(&rc.out, typ, payload)
+	if need := 5 + len(payload) + 8 + 16; cap(rc.wbuf) < need {
+		rc.wbuf = make([]byte, 0, need+256)
 	}
-	hdr := make([]byte, 5, 5+len(payload))
-	hdr[0] = typ
-	binary.BigEndian.PutUint16(hdr[1:3], recordVersion)
-	binary.BigEndian.PutUint16(hdr[3:5], uint16(len(payload)))
-	_, err := rc.c.Write(append(hdr, payload...))
+	buf := rc.wbuf[:5]
+	if rc.out.aead != nil {
+		buf = sealInto(buf, &rc.out, typ, payload)
+	} else {
+		buf = append(buf, payload...)
+	}
+	buf[0] = typ
+	binary.BigEndian.PutUint16(buf[1:3], recordVersion)
+	binary.BigEndian.PutUint16(buf[3:5], uint16(len(buf)-5))
+	rc.wbuf = buf[:0]
+	_, err := rc.c.Write(buf)
 	return err
 }
 
-// ReadRecord reads and (if armed) decrypts one record.
+// ReadRecord reads and (if armed) decrypts one record. The returned
+// Payload aliases the connection's reusable read buffer and is valid
+// only until the next ReadRecord on the same Conn; callers that retain
+// it must copy.
 func (rc *Conn) ReadRecord() (*Record, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(rc.c, hdr[:]); err != nil {
@@ -145,7 +169,10 @@ func (rc *Conn) ReadRecord() (*Record, error) {
 	if n > MaxPlaintext+1024 {
 		return nil, fmt.Errorf("record: oversized record (%d)", n)
 	}
-	payload := make([]byte, n)
+	if cap(rc.rbuf) < n {
+		rc.rbuf = make([]byte, n, n+256)
+	}
+	payload := rc.rbuf[:n]
 	if _, err := io.ReadFull(rc.c, payload); err != nil {
 		return nil, err
 	}
@@ -159,7 +186,10 @@ func (rc *Conn) ReadRecord() (*Record, error) {
 		copy(nonce[4:], payload[:8])
 		seq := binary.BigEndian.Uint64(payload[:8])
 		plainLen := len(payload) - 8 - 16
-		plain, err := rc.in.aead.Open(nil, nonce[:], payload[8:], aad(seq, typ, plainLen))
+		// Decrypt in place: dst payload[8:8] aliases the ciphertext start,
+		// the exact-overlap case crypto/cipher's GCM supports, so the
+		// plaintext needs no second allocation.
+		plain, err := rc.in.aead.Open(payload[8:8], nonce[:], payload[8:], aad(seq, typ, plainLen))
 		if err != nil {
 			return nil, fmt.Errorf("record: decrypt: %w", err)
 		}

@@ -6,13 +6,17 @@
 package scanner
 
 import (
+	"fmt"
 	"hash/fnv"
 	"math/rand"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"tlsshortcuts/internal/drbg"
+	"tlsshortcuts/internal/perf"
 	"tlsshortcuts/internal/pki"
 	"tlsshortcuts/internal/simclock"
 	"tlsshortcuts/internal/ticket"
@@ -38,6 +42,11 @@ type Scanner struct {
 	Roots   *pki.RootStore
 	Clock   simclock.Clock
 	Workers int
+
+	// Seed, when non-nil, makes every connection's client entropy a
+	// deterministic function of (Seed, domain, probe label), so a
+	// campaign replays byte-identically. nil keeps crypto/rand.
+	Seed []byte
 }
 
 func (s *Scanner) workers() int {
@@ -47,7 +56,9 @@ func (s *Scanner) workers() int {
 	return 8
 }
 
-// forEach runs fn(i) for i in [0,n) on the worker pool.
+// forEach runs fn(i) for i in [0,n) on the worker pool. Workers claim
+// indices from a shared atomic counter: no dispatcher goroutine, no
+// channel send per item — one atomic add per claim.
 func (s *Scanner) forEach(n int, fn func(i int)) {
 	workers := s.workers()
 	if workers > n {
@@ -59,25 +70,29 @@ func (s *Scanner) forEach(n int, fn func(i int)) {
 		}
 		return
 	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	next := make(chan int)
+	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
 				fn(i)
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 }
 
-func (s *Scanner) connect(domain string, cfg *tlsclient.Config) (*tlsclient.Capture, error) {
+// connect opens one scan connection. label names the probe (scan kind,
+// day, connection number) so that with a seeded scanner each connection
+// draws from its own reproducible entropy stream regardless of worker
+// scheduling.
+func (s *Scanner) connect(domain, label string, cfg *tlsclient.Config) (*tlsclient.Capture, error) {
 	conn, err := s.Dialer.Dial(domain)
 	if err != nil {
 		return nil, err
@@ -86,6 +101,10 @@ func (s *Scanner) connect(domain string, cfg *tlsclient.Config) (*tlsclient.Capt
 	cfg.ServerName = domain
 	cfg.Clock = s.Clock
 	cfg.Roots = s.Roots
+	cfg.ReuseKex = true
+	if cfg.Rand == nil && s.Seed != nil {
+		cfg.Rand = drbg.New(s.Seed, []byte(domain), []byte(label))
+	}
 	return tlsclient.Handshake(conn, cfg)
 }
 
@@ -111,10 +130,21 @@ type Observation struct {
 // suite list it restricts the offered suites (key-exchange scans) and
 // makes two connections to detect server value reuse.
 func (s *Scanner) Daily(domains []string, day int, suites []uint16, offerTicket bool) []Observation {
+	kind := "plain"
+	switch {
+	case offerTicket:
+		kind = "ticket"
+	case len(suites) > 0:
+		kind = fmt.Sprintf("kex%04x", suites[0])
+	}
+	// Forced-suite scans only record what precedes the client's second
+	// flight, so they capture the SKE and disconnect (see perf.KexOnlyProbes).
+	kexOnly := len(suites) > 0 && !offerTicket && perf.KexOnlyProbes()
 	out := make([]Observation, len(domains))
 	s.forEach(len(domains), func(i int) {
 		o := Observation{Domain: domains[i], Day: day}
-		cap1, err := s.connect(domains[i], &tlsclient.Config{Suites: suites, OfferTicket: offerTicket})
+		l1 := fmt.Sprintf("daily|%s|%d|1", kind, day)
+		cap1, err := s.connect(domains[i], l1, &tlsclient.Config{Suites: suites, OfferTicket: offerTicket, KexOnly: kexOnly})
 		if err != nil {
 			o.Err = err
 			out[i] = o
@@ -127,12 +157,13 @@ func (s *Scanner) Daily(domains []string, day int, suites []uint16, offerTicket 
 		o.KEXValue = cap1.ServerKEXValue
 		o.TicketIssued = cap1.TicketIssued
 		o.LifetimeHint = cap1.LifetimeHint
+		l2 := fmt.Sprintf("daily|%s|%d|2", kind, day)
 		if offerTicket && cap1.TicketIssued {
-			if cap2, err := s.connect(domains[i], &tlsclient.Config{Suites: suites, OfferTicket: true}); err == nil && cap2.TicketIssued {
+			if cap2, err := s.connect(domains[i], l2, &tlsclient.Config{Suites: suites, OfferTicket: true}); err == nil && cap2.TicketIssued {
 				o.STEKID = ticket.DetectKeyID(cap1.Ticket, cap2.Ticket)
 			}
 		} else if suites != nil {
-			if cap2, err := s.connect(domains[i], &tlsclient.Config{Suites: suites}); err == nil {
+			if cap2, err := s.connect(domains[i], l2, &tlsclient.Config{Suites: suites, KexOnly: kexOnly}); err == nil {
 				o.KEXValue2 = cap2.ServerKEXValue
 			}
 		}
@@ -161,12 +192,16 @@ func (s *Scanner) LifetimeProbe(targets []string, useTicket bool, poll, max time
 	if !ok {
 		panic("scanner: LifetimeProbe requires a *simclock.Manual clock")
 	}
+	mode := "id"
+	if useTicket {
+		mode = "ticket"
+	}
 	start := clock.Now()
 	out := make([]ProbeResult, len(targets))
 	sessions := make([]*tlsclient.Session, len(targets))
 	s.forEach(len(targets), func(i int) {
 		out[i].Domain = targets[i]
-		cap, err := s.connect(targets[i], &tlsclient.Config{OfferTicket: useTicket})
+		cap, err := s.connect(targets[i], "lt|"+mode+"|init", &tlsclient.Config{OfferTicket: useTicket})
 		if err != nil {
 			return
 		}
@@ -182,8 +217,8 @@ func (s *Scanner) LifetimeProbe(targets []string, useTicket bool, poll, max time
 	})
 
 	alive := make([]bool, len(targets))
-	probe := func(i int) bool {
-		cap, err := s.connect(targets[i], &tlsclient.Config{
+	probe := func(i int, label string) bool {
+		cap, err := s.connect(targets[i], label, &tlsclient.Config{
 			Resume: sessions[i], ResumeViaTicket: useTicket,
 		})
 		return err == nil && cap.Resumed
@@ -191,19 +226,20 @@ func (s *Scanner) LifetimeProbe(targets []string, useTicket bool, poll, max time
 
 	clock.Set(start.Add(time.Second))
 	s.forEach(len(targets), func(i int) {
-		if out[i].OK && probe(i) {
+		if out[i].OK && probe(i, "lt|"+mode+"|1s") {
 			out[i].ResumedAt1s = true
 			alive[i] = true
 		}
 	})
 	for d := poll; d <= max; d += poll {
 		clock.Set(start.Add(d))
+		label := fmt.Sprintf("lt|%s|poll|%d", mode, int64(d/time.Second))
 		any := false
 		s.forEach(len(targets), func(i int) {
 			if !alive[i] {
 				return
 			}
-			if probe(i) {
+			if probe(i, label) {
 				out[i].MaxDelay = d
 			} else {
 				alive[i] = false
@@ -237,7 +273,7 @@ func (s *Scanner) CrossDomainGroups(targets []string, topo Topology, nAS, nIP in
 	var mu sync.Mutex
 	s.forEach(len(targets), func(i int) {
 		domain := targets[i]
-		cap, err := s.connect(domain, &tlsclient.Config{})
+		cap, err := s.connect(domain, "xd|init", &tlsclient.Config{})
 		if err != nil || len(cap.SessionID) == 0 {
 			return
 		}
@@ -249,7 +285,7 @@ func (s *Scanner) CrossDomainGroups(targets []string, topo Topology, nAS, nIP in
 				continue
 			}
 			seen[cand] = true
-			if c2, err := s.connect(cand, &tlsclient.Config{Resume: cap.Session}); err == nil && c2.Resumed {
+			if c2, err := s.connect(cand, "xd|probe|"+domain, &tlsclient.Config{Resume: cap.Session}); err == nil && c2.Resumed {
 				mu.Lock()
 				uf.Union(domain, cand)
 				mu.Unlock()
@@ -260,7 +296,10 @@ func (s *Scanner) CrossDomainGroups(targets []string, topo Topology, nAS, nIP in
 }
 
 // seededPrefix returns the first n elements of a deterministic per-domain
-// shuffle of list.
+// shuffle of list. Only the first n draws of a Fisher-Yates pass run, so
+// the cost is O(n) rather than O(len(list)); the selection is still a
+// prefix of the same infinite shuffle, so a larger budget strictly
+// extends a smaller one.
 func seededPrefix(domain string, list []string, n int) []string {
 	if len(list) == 0 || n <= 0 {
 		return nil
@@ -269,9 +308,12 @@ func seededPrefix(domain string, list []string, n int) []string {
 	h.Write([]byte(domain))
 	rng := rand.New(rand.NewSource(int64(h.Sum64())))
 	shuffled := append([]string(nil), list...)
-	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
 	if n > len(shuffled) {
 		n = len(shuffled)
+	}
+	for i := 0; i < n && i < len(shuffled)-1; i++ {
+		j := i + rng.Intn(len(shuffled)-i)
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
 	}
 	return shuffled[:n]
 }
@@ -279,32 +321,51 @@ func seededPrefix(domain string, list []string, n int) []string {
 // UnionFind tracks connected components of domain names.
 type UnionFind struct {
 	parent map[string]string
+	size   map[string]int
 }
 
 // NewUnionFind returns an empty structure.
-func NewUnionFind() *UnionFind { return &UnionFind{parent: make(map[string]string)} }
+func NewUnionFind() *UnionFind {
+	return &UnionFind{parent: make(map[string]string), size: make(map[string]int)}
+}
 
-// Find returns the component representative, adding x if unseen.
+// Find returns the component representative, adding x if unseen. The walk
+// is iterative with full path compression — the recursive version could
+// exhaust the stack on adversarially long chains, and compressing keeps
+// repeated queries near O(1).
 func (u *UnionFind) Find(x string) string {
-	p, ok := u.parent[x]
-	if !ok {
+	if _, ok := u.parent[x]; !ok {
 		u.parent[x] = x
+		u.size[x] = 1
 		return x
 	}
-	if p == x {
-		return x
+	root := x
+	for {
+		p := u.parent[root]
+		if p == root {
+			break
+		}
+		root = p
 	}
-	root := u.Find(p)
-	u.parent[x] = root
+	for x != root {
+		x, u.parent[x] = u.parent[x], root
+	}
 	return root
 }
 
-// Union merges the components of a and b.
+// Union merges the components of a and b, attaching the smaller tree
+// under the larger (Sets canonicalizes output, so representative choice
+// never shows in results).
 func (u *UnionFind) Union(a, b string) {
 	ra, rb := u.Find(a), u.Find(b)
-	if ra != rb {
-		u.parent[rb] = ra
+	if ra == rb {
+		return
 	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
 }
 
 // Sets returns the components, each sorted, largest first.

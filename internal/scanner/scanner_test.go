@@ -1,0 +1,130 @@
+package scanner
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachVisitsEachIndexOnce(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{0, 8}, {1, 8}, {7, 8}, {100, 8}, {100, 1}, {3, 16}, {1000, 4},
+	} {
+		s := &Scanner{Workers: tc.workers}
+		counts := make([]atomic.Int32, tc.n+1)
+		s.forEach(tc.n, func(i int) {
+			if i < 0 || i >= tc.n {
+				t.Errorf("n=%d workers=%d: index %d out of range", tc.n, tc.workers, i)
+				return
+			}
+			counts[i].Add(1)
+		})
+		for i := 0; i < tc.n; i++ {
+			if got := counts[i].Load(); got != 1 {
+				t.Errorf("n=%d workers=%d: index %d visited %d times", tc.n, tc.workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachDefaultWorkers(t *testing.T) {
+	s := &Scanner{} // Workers unset -> default pool
+	var total atomic.Int32
+	s.forEach(50, func(int) { total.Add(1) })
+	if total.Load() != 50 {
+		t.Fatalf("visited %d of 50", total.Load())
+	}
+}
+
+func TestSeededPrefixExtension(t *testing.T) {
+	list := make([]string, 40)
+	for i := range list {
+		list[i] = string(rune('a'+i%26)) + string(rune('0'+i/26))
+	}
+	for _, domain := range []string{"example.com", "other.net"} {
+		full := seededPrefix(domain, list, len(list))
+		seen := make(map[string]bool)
+		for _, d := range full {
+			if seen[d] {
+				t.Fatalf("%s: duplicate %q in shuffle", domain, d)
+			}
+			seen[d] = true
+		}
+		if len(full) != len(list) {
+			t.Fatalf("%s: full shuffle has %d of %d elements", domain, len(full), len(list))
+		}
+		// A smaller budget must be a strict prefix of a larger one: the
+		// cross-domain scan's budget can grow without invalidating old runs.
+		for n := 0; n <= len(list); n++ {
+			got := seededPrefix(domain, list, n)
+			if len(got) != n {
+				t.Fatalf("%s: seededPrefix(%d) returned %d elements", domain, n, len(got))
+			}
+			for i, d := range got {
+				if d != full[i] {
+					t.Fatalf("%s: prefix(%d)[%d] = %q, want %q", domain, n, i, d, full[i])
+				}
+			}
+		}
+	}
+	if got := seededPrefix("x", nil, 3); got != nil {
+		t.Fatalf("empty list: got %v", got)
+	}
+	if got := seededPrefix("x", list, 100); len(got) != len(list) {
+		t.Fatalf("oversized budget: got %d elements", len(got))
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	u := NewUnionFind()
+	if r := u.Find("a"); r != "a" {
+		t.Fatalf("fresh element root = %q", r)
+	}
+	u.Union("a", "b")
+	u.Union("c", "d")
+	if u.Find("a") != u.Find("b") {
+		t.Fatal("a and b not merged")
+	}
+	if u.Find("a") == u.Find("c") {
+		t.Fatal("separate components merged")
+	}
+	u.Union("b", "c")
+	for _, x := range []string{"a", "b", "c", "d"} {
+		if u.Find(x) != u.Find("a") {
+			t.Fatalf("%s not in merged component", x)
+		}
+	}
+	u.Union("a", "d") // already joined: must be a no-op
+	u.Find("solo")
+	sets := u.Sets()
+	if len(sets) != 2 || len(sets[0]) != 4 || len(sets[1]) != 1 {
+		t.Fatalf("Sets() = %v", sets)
+	}
+	for i, want := range []string{"a", "b", "c", "d"} {
+		if sets[0][i] != want {
+			t.Fatalf("set not sorted: %v", sets[0])
+		}
+	}
+}
+
+func TestUnionFindPathCompression(t *testing.T) {
+	u := NewUnionFind()
+	// Build a long chain by always unioning a new singleton into the tail.
+	const n = 10000
+	names := make([]string, n)
+	for i := range names {
+		names[i] = "d" + string(rune('0'+i%10)) + string(rune('a'+(i/10)%26)) + string(rune('a'+i/260))
+	}
+	for i := 1; i < n; i++ {
+		u.Union(names[i-1], names[i])
+	}
+	root := u.Find(names[0])
+	for _, x := range names {
+		if u.Find(x) != root {
+			t.Fatalf("%s not in chain component", x)
+		}
+		// After Find, the element must point directly at the root.
+		if u.parent[x] != root {
+			t.Fatalf("path not compressed for %s", x)
+		}
+	}
+}

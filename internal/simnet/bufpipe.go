@@ -1,0 +1,199 @@
+package simnet
+
+import (
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// NewBufferedPipe returns a connected pair of in-memory net.Conns, like
+// net.Pipe but buffered: Write copies into the peer's receive buffer and
+// returns immediately instead of blocking on a reader rendezvous. Every
+// TLS record flush in the simulation otherwise costs a synchronous
+// goroutine handoff; over a campaign's hundreds of thousands of
+// handshakes those handoffs dominate the transport cost.
+//
+// Semantics preserved from net.Pipe:
+//   - Read blocks until data, peer close (io.EOF), own close
+//     (io.ErrClosedPipe), or read-deadline expiry (net.Error, Timeout).
+//   - Write after Close of either end returns io.ErrClosedPipe.
+//   - SetDeadline/SetReadDeadline/SetWriteDeadline wake blocked peers.
+//
+// Differences (documented in DESIGN.md): writes never block, so data
+// written before a Close is still readable by the peer until drained
+// (TCP-like), and write deadlines only apply at call time.
+func NewBufferedPipe() (net.Conn, net.Conn) {
+	a2b := newPipeBuf() // data flowing a -> b
+	b2a := newPipeBuf() // data flowing b -> a
+	a := &bufConn{rd: b2a, wr: a2b}
+	b := &bufConn{rd: a2b, wr: b2a}
+	return a, b
+}
+
+// pipeBuf is one direction's byte queue.
+type pipeBuf struct {
+	mu    sync.Mutex
+	cond  sync.Cond
+	buf   []byte // pending bytes are buf[off:]
+	off   int
+	wEOF  bool // writer side closed: drain then io.EOF
+	rGone bool // reader side closed: writes fail, reads fail
+
+	rdDeadline time.Time
+	wrDeadline time.Time
+	rdTimer    *time.Timer
+}
+
+func newPipeBuf() *pipeBuf {
+	p := &pipeBuf{}
+	p.cond.L = &p.mu
+	return p
+}
+
+// bufConn is one endpoint: reads from rd, writes into wr.
+type bufConn struct {
+	rd, wr *pipeBuf
+
+	mu     sync.Mutex
+	closed bool
+}
+
+type pipeAddr struct{}
+
+func (pipeAddr) Network() string { return "bufpipe" }
+func (pipeAddr) String() string  { return "bufpipe" }
+
+// timeoutError matches the error surface of net.Pipe deadline failures.
+func timeoutError() error { return os.ErrDeadlineExceeded }
+
+func (b *pipeBuf) write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rGone || b.wEOF {
+		return 0, io.ErrClosedPipe
+	}
+	if !b.wrDeadline.IsZero() && !time.Now().Before(b.wrDeadline) {
+		return 0, timeoutError()
+	}
+	// Compact once the consumed prefix dominates, so long-lived
+	// connections don't grow without bound.
+	if b.off > 4096 && b.off*2 > len(b.buf) {
+		n := copy(b.buf, b.buf[b.off:])
+		b.buf = b.buf[:n]
+		b.off = 0
+	}
+	b.buf = append(b.buf, p...)
+	b.cond.Broadcast()
+	return len(p), nil
+}
+
+func (b *pipeBuf) read(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if b.rGone {
+			return 0, io.ErrClosedPipe
+		}
+		if b.off < len(b.buf) {
+			n := copy(p, b.buf[b.off:])
+			b.off += n
+			if b.off == len(b.buf) {
+				b.buf = b.buf[:0]
+				b.off = 0
+			}
+			return n, nil
+		}
+		if b.wEOF {
+			return 0, io.EOF
+		}
+		if !b.rdDeadline.IsZero() && !time.Now().Before(b.rdDeadline) {
+			return 0, timeoutError()
+		}
+		if len(p) == 0 {
+			return 0, nil
+		}
+		b.cond.Wait()
+	}
+}
+
+// closeWrite marks the writer side closed; pending data stays readable.
+func (b *pipeBuf) closeWrite() {
+	b.mu.Lock()
+	b.wEOF = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// closeRead marks the reader side closed; subsequent peer writes fail.
+func (b *pipeBuf) closeRead() {
+	b.mu.Lock()
+	b.rGone = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// setReadDeadline installs t and arms a timer to wake blocked readers.
+func (b *pipeBuf) setReadDeadline(t time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.rdDeadline = t
+	if b.rdTimer != nil {
+		b.rdTimer.Stop()
+		b.rdTimer = nil
+	}
+	if !t.IsZero() {
+		if d := time.Until(t); d > 0 {
+			b.rdTimer = time.AfterFunc(d, func() {
+				b.mu.Lock()
+				b.cond.Broadcast()
+				b.mu.Unlock()
+			})
+		}
+	}
+	b.cond.Broadcast()
+}
+
+func (c *bufConn) Read(p []byte) (int, error)  { return c.rd.read(p) }
+func (c *bufConn) Write(p []byte) (int, error) { return c.wr.write(p) }
+
+func (c *bufConn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.rd.closeRead()  // our reads now fail, peer writes now fail
+	c.wr.closeWrite() // peer drains remaining data, then sees io.EOF
+	return nil
+}
+
+func (c *bufConn) LocalAddr() net.Addr  { return pipeAddr{} }
+func (c *bufConn) RemoteAddr() net.Addr { return pipeAddr{} }
+
+func (c *bufConn) SetDeadline(t time.Time) error {
+	c.rd.setReadDeadline(t)
+	c.wr.setWriteDeadline(t)
+	return nil
+}
+
+func (c *bufConn) SetReadDeadline(t time.Time) error {
+	c.rd.setReadDeadline(t)
+	return nil
+}
+
+func (c *bufConn) SetWriteDeadline(t time.Time) error {
+	c.wr.setWriteDeadline(t)
+	return nil
+}
+
+// setWriteDeadline records the deadline; writes never block, so it is
+// only consulted at Write entry.
+func (b *pipeBuf) setWriteDeadline(t time.Time) {
+	b.mu.Lock()
+	b.wrDeadline = t
+	b.mu.Unlock()
+}

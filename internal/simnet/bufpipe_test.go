@@ -1,0 +1,234 @@
+package simnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// pipeConformance runs the shared net.Pipe/NewBufferedPipe contract: the
+// TLS engines must behave identically over either transport, so the
+// semantics the record layer relies on are pinned against both here.
+func pipeConformance(t *testing.T, mk func() (net.Conn, net.Conn)) {
+	t.Run("DataIntegrity", func(t *testing.T) {
+		a, b := mk()
+		defer a.Close()
+		defer b.Close()
+		want := make([]byte, 64<<10)
+		for i := range want {
+			want[i] = byte(i * 31)
+		}
+		done := make(chan error, 1)
+		go func() {
+			// Vary write sizes to exercise buffering boundaries.
+			sent := 0
+			for _, n := range []int{1, 5, 1000, 4096, 17} {
+				for sent < len(want) {
+					end := sent + n
+					if end > len(want) {
+						end = len(want)
+					}
+					if _, err := a.Write(want[sent:end]); err != nil {
+						done <- err
+						return
+					}
+					sent = end
+					if n != 17 {
+						break
+					}
+				}
+			}
+			done <- nil
+		}()
+		got := make([]byte, len(want))
+		if _, err := io.ReadFull(b, got); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatal("data corrupted in transit")
+		}
+	})
+
+	t.Run("Bidirectional", func(t *testing.T) {
+		a, b := mk()
+		defer a.Close()
+		defer b.Close()
+		// Echo loop: concurrent traffic both directions (meaningful under
+		// -race).
+		go func() {
+			buf := make([]byte, 256)
+			for {
+				n, err := b.Read(buf)
+				if err != nil {
+					return
+				}
+				if _, err := b.Write(buf[:n]); err != nil {
+					return
+				}
+			}
+		}()
+		msg := []byte("ping over the simulated wire")
+		for i := 0; i < 100; i++ {
+			if _, err := a.Write(msg); err != nil {
+				t.Fatalf("write %d: %v", i, err)
+			}
+			got := make([]byte, len(msg))
+			if _, err := io.ReadFull(a, got); err != nil {
+				t.Fatalf("read %d: %v", i, err)
+			}
+			if !bytes.Equal(got, msg) {
+				t.Fatalf("echo %d corrupted", i)
+			}
+		}
+	})
+
+	t.Run("PeerCloseUnblocksRead", func(t *testing.T) {
+		a, b := mk()
+		defer a.Close()
+		errc := make(chan error, 1)
+		go func() {
+			_, err := b.Read(make([]byte, 16))
+			errc <- err
+		}()
+		time.Sleep(10 * time.Millisecond) // let the reader block
+		a.Close()
+		select {
+		case err := <-errc:
+			if err != io.EOF {
+				t.Fatalf("read after peer close: got %v, want io.EOF", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("reader still blocked after peer Close")
+		}
+	})
+
+	t.Run("OwnCloseUnblocksRead", func(t *testing.T) {
+		a, b := mk()
+		defer b.Close()
+		errc := make(chan error, 1)
+		go func() {
+			_, err := a.Read(make([]byte, 16))
+			errc <- err
+		}()
+		time.Sleep(10 * time.Millisecond)
+		a.Close()
+		select {
+		case err := <-errc:
+			if !errors.Is(err, io.ErrClosedPipe) {
+				t.Fatalf("read after own close: got %v, want io.ErrClosedPipe", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("reader still blocked after own Close")
+		}
+	})
+
+	t.Run("WriteAfterPeerClose", func(t *testing.T) {
+		a, b := mk()
+		defer a.Close()
+		b.Close()
+		// net.Pipe fails immediately; the buffered pipe fails once the
+		// reader is observed gone. Either way it must error, not hang.
+		if _, err := a.Write([]byte("x")); !errors.Is(err, io.ErrClosedPipe) {
+			t.Fatalf("write after peer close: got %v, want io.ErrClosedPipe", err)
+		}
+	})
+
+	t.Run("ReadDeadline", func(t *testing.T) {
+		a, b := mk()
+		defer a.Close()
+		defer b.Close()
+		if err := a.SetReadDeadline(time.Now().Add(20 * time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		_, err := a.Read(make([]byte, 16))
+		if !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("deadline read: got %v, want os.ErrDeadlineExceeded", err)
+		}
+		var ne net.Error
+		if !errors.As(err, &ne) || !ne.Timeout() {
+			t.Fatalf("deadline error %v is not a net.Error timeout", err)
+		}
+		if time.Since(start) > time.Second {
+			t.Fatal("deadline fired far too late")
+		}
+		// Clearing the deadline makes the connection usable again.
+		if err := a.SetReadDeadline(time.Time{}); err != nil {
+			t.Fatal(err)
+		}
+		go b.Write([]byte("ok"))
+		got := make([]byte, 2)
+		if _, err := io.ReadFull(a, got); err != nil {
+			t.Fatalf("read after deadline cleared: %v", err)
+		}
+	})
+}
+
+func TestNetPipeConformance(t *testing.T) {
+	pipeConformance(t, net.Pipe)
+}
+
+func TestBufferedPipeConformance(t *testing.T) {
+	pipeConformance(t, NewBufferedPipe)
+}
+
+// TestBufferedPipeDrainAfterClose pins the intentional divergence from
+// net.Pipe: data written before Close stays readable (TCP-like), then EOF.
+func TestBufferedPipeDrainAfterClose(t *testing.T) {
+	a, b := NewBufferedPipe()
+	defer b.Close()
+	if _, err := a.Write([]byte("last words")); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	got, err := io.ReadAll(b)
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if string(got) != "last words" {
+		t.Fatalf("drained %q", got)
+	}
+}
+
+// TestBufferedPipeDoubleClose checks Close idempotence.
+func TestBufferedPipeDoubleClose(t *testing.T) {
+	a, b := NewBufferedPipe()
+	b.Close()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBufferedPipeWriteDoesNotBlock is the performance contract: a writer
+// with no active reader must not deadlock.
+func TestBufferedPipeWriteDoesNotBlock(t *testing.T) {
+	a, b := NewBufferedPipe()
+	defer a.Close()
+	defer b.Close()
+	payload := make([]byte, 32<<10)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 8; i++ {
+			if _, err := a.Write(payload); err != nil {
+				t.Errorf("write %d: %v", i, err)
+				break
+			}
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("buffered write blocked without a reader")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"tlsshortcuts/internal/perf"
 	"tlsshortcuts/internal/tlsserver"
 )
 
@@ -25,6 +26,11 @@ type binding struct {
 	backends []*Endpoint
 	as       int
 	ips      []string
+	// dialSeq is per-domain so the k-th connection to a domain always
+	// lands on the same backend regardless of how dials to other
+	// domains interleave — which keeps A-record jitter deterministic
+	// for a deterministic probe schedule.
+	dialSeq atomic.Uint64
 }
 
 // Net is the address space and dialer.
@@ -33,7 +39,7 @@ type Net struct {
 	domains map[string]*binding
 	byAS    map[int][]string
 	byIP    map[string][]string
-	dialSeq atomic.Uint64
+	dials   atomic.Uint64
 }
 
 // New returns an empty network.
@@ -86,7 +92,8 @@ func (n *Net) Dial(domain string) (net.Conn, error) {
 	if !ok || len(b.backends) == 0 {
 		return nil, fmt.Errorf("simnet: no route to %q", domain)
 	}
-	seq := n.dialSeq.Add(1)
+	n.dials.Add(1)
+	seq := b.dialSeq.Add(1)
 	h := fnv.New64a()
 	h.Write([]byte(domain))
 	var buf [8]byte
@@ -98,13 +105,22 @@ func (n *Net) Dial(domain string) (net.Conn, error) {
 	// sum through a 64-bit finalizer so back-to-back dials pick
 	// independently.
 	ep := b.backends[mix64(h.Sum64())%uint64(len(b.backends))]
-	cli, srv := net.Pipe()
+	var cli, srv net.Conn
+	if perf.BufferedPipes() {
+		cli, srv = NewBufferedPipe()
+	} else {
+		cli, srv = net.Pipe()
+	}
 	go func() {
 		defer srv.Close()
 		_ = tlsserver.Serve(srv, ep.Config)
 	}()
 	return cli, nil
 }
+
+// DialCount returns the number of connections opened so far — the
+// campaign benchmarks divide it by wall time for handshakes/sec.
+func (n *Net) DialCount() uint64 { return n.dials.Load() }
 
 // mix64 is the splitmix64 finalizer.
 func mix64(x uint64) uint64 {

@@ -2,37 +2,48 @@ package study
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
+	"tlsshortcuts/internal/perf"
 	"tlsshortcuts/internal/vulnwindow"
 )
 
 // Tracker answers span/run questions for one mechanism's secret
 // observations (the paper's first-seen/last-seen span metric versus the
-// naive consecutive-run metric).
+// naive consecutive-run metric). Construction precomputes both metrics
+// per domain — the report layer queries the same domain once per table,
+// figure, and exposure pass.
 type Tracker struct {
-	spans map[string]map[string]uint64
+	spans   map[string]map[string]uint64
+	maxSpan map[string]int
+	maxRun  map[string]int
 }
 
-// MaxSpanDays is the longest last-seen minus first-seen span, in days,
-// over the domain's secrets (-1 if the domain was never observed).
-func (t *Tracker) MaxSpanDays(domain string) int {
+func newTracker(spans map[string]map[string]uint64) *Tracker {
+	t := &Tracker{
+		spans:   spans,
+		maxSpan: make(map[string]int, len(spans)),
+		maxRun:  make(map[string]int, len(spans)),
+	}
+	for d, ids := range spans {
+		t.maxSpan[d] = maxSpanOf(ids)
+		t.maxRun[d] = maxRunOf(ids)
+	}
+	return t
+}
+
+func maxSpanOf(ids map[string]uint64) int {
 	best := -1
-	for _, bits := range t.spans[domain] {
-		if bits == 0 {
+	for _, b := range ids {
+		if b == 0 {
 			continue
 		}
-		first, last := -1, -1
-		for d := 0; d < 64; d++ {
-			if bits&(1<<uint(d)) != 0 {
-				if first < 0 {
-					first = d
-				}
-				last = d
-			}
-		}
+		first := bits.TrailingZeros64(b)
+		last := 63 - bits.LeadingZeros64(b)
 		if span := last - first; span > best {
 			best = span
 		}
@@ -40,24 +51,41 @@ func (t *Tracker) MaxSpanDays(domain string) int {
 	return best
 }
 
-// MaxRunDays is the longest consecutive-day run minus one, over the
-// domain's secrets. Always <= MaxSpanDays.
-func (t *Tracker) MaxRunDays(domain string) int {
+func maxRunOf(ids map[string]uint64) int {
 	best := -1
-	for _, bits := range t.spans[domain] {
+	for _, b := range ids {
+		if b == 0 {
+			continue
+		}
+		// x &= x<<1 clears the tail of every run; the iteration count is
+		// the longest run length.
 		run := 0
-		for d := 0; d < 64; d++ {
-			if bits&(1<<uint(d)) != 0 {
-				run++
-				if run-1 > best {
-					best = run - 1
-				}
-			} else {
-				run = 0
-			}
+		for x := b; x != 0; x &= x << 1 {
+			run++
+		}
+		if run-1 > best {
+			best = run - 1
 		}
 	}
 	return best
+}
+
+// MaxSpanDays is the longest last-seen minus first-seen span, in days,
+// over the domain's secrets (-1 if the domain was never observed).
+func (t *Tracker) MaxSpanDays(domain string) int {
+	if v, ok := t.maxSpan[domain]; ok {
+		return v
+	}
+	return maxSpanOf(t.spans[domain])
+}
+
+// MaxRunDays is the longest consecutive-day run minus one, over the
+// domain's secrets. Always <= MaxSpanDays.
+func (t *Tracker) MaxRunDays(domain string) int {
+	if v, ok := t.maxRun[domain]; ok {
+		return v
+	}
+	return maxRunOf(t.spans[domain])
 }
 
 // CountAtLeast counts domains in pop whose max span is at least days.
@@ -83,14 +111,47 @@ type Report struct {
 	cacheLife    map[string]time.Duration // measured session-ID lifetime
 }
 
-// BuildReport computes exposures and windows from a dataset.
+// reportMemo caches the Report built for a Dataset pointer: analysis
+// binaries call BuildReport once per rendering pass, and the build walks
+// every span map. Bounded; reset when full.
+var (
+	reportMu   sync.Mutex
+	reportMemo = map[*Dataset]*Report{}
+)
+
+const maxReportMemo = 16
+
+// BuildReport computes exposures and windows from a dataset. Repeat calls
+// with the same *Dataset return the memoized Report (callers must not
+// mutate the dataset afterwards; disable via perf.SetReportMemoized).
 func BuildReport(ds *Dataset) *Report {
+	if perf.ReportMemoized() {
+		reportMu.Lock()
+		r, ok := reportMemo[ds]
+		reportMu.Unlock()
+		if ok {
+			return r
+		}
+	}
+	r := buildReport(ds)
+	if perf.ReportMemoized() {
+		reportMu.Lock()
+		if len(reportMemo) >= maxReportMemo {
+			reportMemo = map[*Dataset]*Report{}
+		}
+		reportMemo[ds] = r
+		reportMu.Unlock()
+	}
+	return r
+}
+
+func buildReport(ds *Dataset) *Report {
 	r := &Report{
 		DS: ds,
 		trackers: map[string]*Tracker{
-			"stek":  {spans: ds.STEKSpans},
-			"dhe":   {spans: ds.DHESpans},
-			"ecdhe": {spans: ds.ECDHESpans},
+			"stek":  newTracker(ds.STEKSpans),
+			"dhe":   newTracker(ds.DHESpans),
+			"ecdhe": newTracker(ds.ECDHESpans),
 		},
 		ticketAccept: make(map[string]time.Duration),
 		cacheLife:    make(map[string]time.Duration),

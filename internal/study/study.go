@@ -6,10 +6,12 @@
 package study
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"math/bits"
 	"os"
 	"sort"
 	"time"
@@ -72,6 +74,11 @@ type Dataset struct {
 	STEKGroups  [][]string
 	DHGroups    [][]string
 	DHSingleton int // reused DH values confined to a single domain
+
+	// Dials counts the TLS connections the campaign made. It is run
+	// telemetry for benchmarks, not a measurement, so it stays out of the
+	// serialized dataset (which must be byte-stable for a given seed).
+	Dials uint64 `json:"-"`
 }
 
 // Save writes the dataset as JSON.
@@ -107,7 +114,10 @@ func Run(o Options) (*Dataset, error) {
 	}
 	clock := world.Clock.(*simclock.Manual)
 	start := clock.Now()
-	scan := &scanner.Scanner{Dialer: world.Net, Roots: world.Roots, Clock: clock, Workers: o.Workers}
+	scan := &scanner.Scanner{
+		Dialer: world.Net, Roots: world.Roots, Clock: clock, Workers: o.Workers,
+		Seed: []byte(fmt.Sprintf("study|%d", o.Seed)),
+	}
 
 	core := world.TrustedCoreDomains()
 	all := allByRank(world)
@@ -170,6 +180,7 @@ func Run(o Options) (*Dataset, error) {
 	ds.CacheGroups = multiSets(uf)
 	ds.STEKGroups = secretGroups(ds.STEKSpans)
 	ds.DHGroups, ds.DHSingleton = dhGroups(ds.DHESpans, ds.ECDHESpans)
+	ds.Dials = world.Net.DialCount()
 	return ds, nil
 }
 
@@ -229,8 +240,7 @@ func kexSnapshot(obs []scanner.Observation, kex wire.Kex) Snapshot {
 			continue
 		}
 		s.Support++
-		if len(ob.KEXValue) > 0 && len(ob.KEXValue2) > 0 &&
-			hex.EncodeToString(ob.KEXValue) == hex.EncodeToString(ob.KEXValue2) {
+		if len(ob.KEXValue) > 0 && bytes.Equal(ob.KEXValue, ob.KEXValue2) {
 			s.Reuse2x++
 		}
 	}
@@ -273,14 +283,14 @@ func dhGroups(spanSets ...map[string]map[string]uint64) ([][]string, int) {
 	reused := make(map[string]bool)
 	for _, spans := range spanSets {
 		for domain, ids := range spans {
-			for id, bits := range ids {
+			for id, b := range ids {
 				m := domainsByID[id]
 				if m == nil {
 					m = make(map[string]bool)
 					domainsByID[id] = m
 				}
 				m[domain] = true
-				if popcount(bits) >= 2 {
+				if bits.OnesCount64(b) >= 2 {
 					reused[id] = true
 				}
 			}
@@ -301,13 +311,4 @@ func dhGroups(spanSets ...map[string]map[string]uint64) ([][]string, int) {
 		}
 	}
 	return multiSets(uf), singles
-}
-
-func popcount(x uint64) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
-	}
-	return n
 }

@@ -13,6 +13,7 @@ import (
 	"crypto/hmac"
 	"crypto/sha256"
 	"encoding/binary"
+	"hash"
 	"io"
 	"sync"
 	"time"
@@ -57,6 +58,38 @@ type STEK struct {
 	Name   []byte
 	AESKey [16]byte
 	MACKey [32]byte
+
+	// Lazily-built derived state: the expanded AES block cipher and the
+	// wire header are fixed per key, and MAC instances are pooled, so the
+	// scanner's thousands of opens per key skip the per-call setup.
+	initOnce sync.Once
+	block    cipher.Block
+	hdr      []byte
+	macPool  sync.Pool
+}
+
+func (k *STEK) init() {
+	k.initOnce.Do(func() {
+		b, err := aes.NewCipher(k.AESKey[:])
+		if err != nil {
+			panic("ticket: bad AES key: " + err.Error()) // unreachable: key is 16 bytes
+		}
+		k.block = b
+		k.hdr = k.header()
+	})
+}
+
+// macSum appends HMAC-SHA256(MACKey, body) to dst using a pooled MAC.
+func (k *STEK) macSum(dst, body []byte) []byte {
+	h, _ := k.macPool.Get().(hash.Hash)
+	if h == nil {
+		h = hmac.New(sha256.New, k.MACKey[:])
+	}
+	h.Reset()
+	h.Write(body)
+	dst = h.Sum(dst)
+	k.macPool.Put(h)
+	return dst
 }
 
 // Derive deterministically builds a STEK from seed material. Two servers
@@ -93,35 +126,31 @@ func (k *STEK) Seal(st *session.State, rand io.Reader) ([]byte, error) {
 	if _, err := io.ReadFull(rand, iv); err != nil {
 		return nil, err
 	}
-	block, err := aes.NewCipher(k.AESKey[:])
-	if err != nil {
-		return nil, err
-	}
+	k.init()
 	enc := make([]byte, len(plain))
-	cipher.NewCBCEncrypter(block, iv).CryptBlocks(enc, plain)
+	cipher.NewCBCEncrypter(k.block, iv).CryptBlocks(enc, plain)
 
-	out := k.header()
+	out := make([]byte, 0, len(k.hdr)+aes.BlockSize+2+len(enc)+sha256.Size)
+	out = append(out, k.hdr...)
 	out = append(out, iv...)
 	out = binary.BigEndian.AppendUint16(out, uint16(len(enc)))
 	out = append(out, enc...)
-	h := hmac.New(sha256.New, k.MACKey[:])
-	h.Write(out)
-	return h.Sum(out), nil
+	return k.macSum(out, out), nil
 }
 
 // Open authenticates and decrypts a ticket. It returns nil (no error
 // detail) when the ticket was not sealed by this key or fails its MAC —
 // exactly how a server falls back to a full handshake.
 func (k *STEK) Open(tkt []byte) *session.State {
-	hdr := k.header()
+	k.init()
+	hdr := k.hdr
 	minLen := len(hdr) + aes.BlockSize + 2 + sha256.Size
 	if len(tkt) < minLen || !bytes.HasPrefix(tkt, hdr) {
 		return nil
 	}
 	body, mac := tkt[:len(tkt)-sha256.Size], tkt[len(tkt)-sha256.Size:]
-	h := hmac.New(sha256.New, k.MACKey[:])
-	h.Write(body)
-	if !hmac.Equal(h.Sum(nil), mac) {
+	var sum [sha256.Size]byte
+	if !hmac.Equal(k.macSum(sum[:0], body), mac) {
 		return nil
 	}
 	p := body[len(hdr):]
@@ -131,12 +160,8 @@ func (k *STEK) Open(tkt []byte) *session.State {
 	if n != len(enc) || n == 0 || n%aes.BlockSize != 0 {
 		return nil
 	}
-	block, err := aes.NewCipher(k.AESKey[:])
-	if err != nil {
-		return nil
-	}
 	plain := make([]byte, n)
-	cipher.NewCBCDecrypter(block, iv).CryptBlocks(plain, enc)
+	cipher.NewCBCDecrypter(k.block, iv).CryptBlocks(plain, enc)
 	pad := int(plain[n-1])
 	if pad == 0 || pad > aes.BlockSize || pad > n {
 		return nil
@@ -196,6 +221,10 @@ type Manager interface {
 	IssuingKey(now time.Time) *STEK
 	// LookupKey returns the accepted key that sealed tkt, or nil.
 	LookupKey(tkt []byte, now time.Time) *STEK
+	// OpenTicket authenticates and decrypts tkt with whichever accepted
+	// key sealed it, in one pass (LookupKey followed by Open decrypts
+	// twice).
+	OpenTicket(tkt []byte, now time.Time) *session.State
 	// ActiveKeys returns every key accepted at time now, issuing first.
 	ActiveKeys(now time.Time) []*STEK
 }
@@ -218,6 +247,10 @@ func (s *Static) LookupKey(tkt []byte, _ time.Time) *STEK {
 		return s.key
 	}
 	return nil
+}
+
+func (s *Static) OpenTicket(tkt []byte, _ time.Time) *session.State {
+	return s.key.Open(tkt)
 }
 
 // Rotating derives a fresh key every Period from Base, and keeps accepting
@@ -275,6 +308,15 @@ func (r *Rotating) LookupKey(tkt []byte, now time.Time) *STEK {
 	for _, k := range r.ActiveKeys(now) {
 		if k.Open(tkt) != nil {
 			return k
+		}
+	}
+	return nil
+}
+
+func (r *Rotating) OpenTicket(tkt []byte, now time.Time) *session.State {
+	for _, k := range r.ActiveKeys(now) {
+		if st := k.Open(tkt); st != nil {
+			return st
 		}
 	}
 	return nil

@@ -14,11 +14,15 @@ import (
 	"crypto/x509"
 	"errors"
 	"fmt"
+	"hash"
 	"io"
 	"math/big"
 	"net"
+	"sync"
 	"time"
 
+	"tlsshortcuts/internal/drbg"
+	"tlsshortcuts/internal/perf"
 	"tlsshortcuts/internal/pki"
 	"tlsshortcuts/internal/prf"
 	"tlsshortcuts/internal/record"
@@ -54,6 +58,22 @@ type Config struct {
 	AppData []byte
 
 	Rand io.Reader // nil = crypto/rand
+
+	// ReuseKex lets the client reuse one fixed key-exchange keypair
+	// across connections (the scanner sets it). No recorded measurement
+	// depends on the client's KEX value, so this is observationally
+	// inert, and it removes a P-256 keygen or a g^x modexp per scan.
+	ReuseKex bool
+
+	// KexOnly disconnects right after capturing the ServerKeyExchange,
+	// the way survey scanners (zgrab's key-exchange grabs) do: everything
+	// a key-exchange scan records — chain, trust, suite, server random,
+	// KEX value — is on the wire before the client's second flight, so
+	// skipping the key agreement and Finished exchange observes exactly
+	// what a completed handshake would. No session results, and the SKE
+	// signature is not checked inline (the probe never acts on the
+	// channel).
+	KexOnly bool
 }
 
 // Capture is everything the scanner records about one connection.
@@ -96,17 +116,18 @@ func (c *Config) rand() io.Reader {
 type hsConn struct {
 	rc   *record.Conn
 	buf  []byte
-	hash []byte
+	hash hash.Hash // running transcript digest
 }
 
+// transcript returns the hash of the handshake messages so far. Sum does
+// not disturb the running state, so no copy of the digest is needed.
 func (h *hsConn) transcript() []byte {
-	s := sha256.Sum256(h.hash)
-	return s[:]
+	return h.hash.Sum(nil)
 }
 
 func (h *hsConn) writeMsg(m *wire.Msg) error {
 	b := m.Marshal()
-	h.hash = append(h.hash, b...)
+	h.hash.Write(b)
 	return h.rc.WriteRecord(record.TypeHandshake, b)
 }
 
@@ -117,7 +138,7 @@ func (h *hsConn) readMsg() (*wire.Msg, bool, error) {
 			if len(h.buf) >= 4+n {
 				raw := h.buf[:4+n]
 				h.buf = h.buf[4+n:]
-				h.hash = append(h.hash, raw...)
+				h.hash.Write(raw)
 				return &wire.Msg{Type: raw[0], Body: raw[4:]}, false, nil
 			}
 		}
@@ -144,7 +165,7 @@ func (h *hsConn) readMsg() (*wire.Msg, bool, error) {
 // Handshake performs one connection against conn. The returned Capture is
 // non-nil whenever a ServerHello was seen, even on later failure.
 func Handshake(conn net.Conn, cfg *Config) (*Capture, error) {
-	hc := &hsConn{rc: record.NewConn(conn)}
+	hc := &hsConn{rc: record.NewConn(conn), hash: sha256.New()}
 	cap := &Capture{}
 
 	suites := cfg.Suites
@@ -228,13 +249,21 @@ func finishFull(hc *hsConn, cfg *Config, cap *Capture, ch *wire.ClientHello, sh 
 			return err
 		}
 		cap.ServerKEXValue = ske.Public
+		if cfg.KexOnly {
+			return nil
+		}
 		if err := verifySKE(chain, ske, ch.Random[:], sh.Random[:]); err != nil {
 			return err
 		}
 		if kex == wire.KexECDHE {
-			priv, err := ecdh.P256().GenerateKey(cfg.rand())
-			if err != nil {
-				return err
+			var priv *ecdh.PrivateKey
+			if cfg.ReuseKex && perf.ClientKexReuse() {
+				priv = fixedECDHEKey()
+			} else {
+				priv, err = ecdh.P256().GenerateKey(cfg.rand())
+				if err != nil {
+					return err
+				}
 			}
 			peer, err := ecdh.P256().NewPublicKey(ske.Public)
 			if err != nil {
@@ -248,17 +277,22 @@ func finishFull(hc *hsConn, cfg *Config, cap *Capture, ch *wire.ClientHello, sh 
 		} else {
 			p := new(big.Int).SetBytes(ske.P)
 			g := new(big.Int).SetBytes(ske.G)
-			var xb [32]byte
-			if _, err := io.ReadFull(cfg.rand(), xb[:]); err != nil {
-				return err
+			var x, yc *big.Int
+			if cfg.ReuseKex && perf.ClientKexReuse() {
+				x, yc = fixedDHEKey(p, g)
+			} else {
+				var xb [32]byte
+				if _, err := io.ReadFull(cfg.rand(), xb[:]); err != nil {
+					return err
+				}
+				x = new(big.Int).SetBytes(xb[:])
+				yc = new(big.Int).Exp(g, x, p)
 			}
-			x := new(big.Int).SetBytes(xb[:])
 			ys := new(big.Int).SetBytes(ske.Public)
 			if ys.Sign() <= 0 || ys.Cmp(p) >= 0 {
 				return errors.New("tls: server DH value out of range")
 			}
 			premaster = new(big.Int).Exp(ys, x, p).Bytes()
-			yc := new(big.Int).Exp(g, x, p)
 			clientPub = yc.Bytes()
 		}
 	default:
@@ -278,7 +312,8 @@ func finishFull(hc *hsConn, cfg *Config, cap *Capture, ch *wire.ClientHello, sh 
 		return err
 	}
 	master := prf.MasterSecret(premaster, ch.Random[:], sh.Random[:])
-	kb := prf.KeyBlock(master, sh.Random[:], ch.Random[:], 40)
+	ex := prf.NewExpander(master)
+	kb := ex.PRF("key expansion", kbSeed(sh.Random[:], ch.Random[:]), 40)
 
 	preFinished := hc.transcript()
 	if err := hc.rc.WriteRecord(record.TypeChangeCipherSpec, []byte{1}); err != nil {
@@ -287,7 +322,7 @@ func finishFull(hc *hsConn, cfg *Config, cap *Capture, ch *wire.ClientHello, sh 
 	if err := hc.rc.ArmWrite(kb[0:16], kb[32:36]); err != nil {
 		return err
 	}
-	fin := &wire.Msg{Type: wire.TypeFinished, Body: prf.FinishedHash(master, "client finished", preFinished)}
+	fin := &wire.Msg{Type: wire.TypeFinished, Body: ex.PRF("client finished", preFinished, 12)}
 	if err := hc.writeMsg(fin); err != nil {
 		return err
 	}
@@ -317,7 +352,7 @@ func finishFull(hc *hsConn, cfg *Config, cap *Capture, ch *wire.ClientHello, sh 
 	if err != nil {
 		return err
 	}
-	want := prf.FinishedHash(master, "server finished", preServer)
+	want := ex.PRF("server finished", preServer, 12)
 	if msg.Type != wire.TypeFinished || !equal(msg.Body, want) {
 		return errors.New("tls: bad server Finished")
 	}
@@ -332,7 +367,8 @@ func finishResumed(hc *hsConn, cfg *Config, cap *Capture, ch *wire.ClientHello, 
 	cap.Resumed = true
 	cap.ResumedViaTicket = cfg.ResumeViaTicket
 	master := cfg.Resume.Master[:]
-	kb := prf.KeyBlock(master, sh.Random[:], ch.Random[:], 40)
+	ex := prf.NewExpander(master)
+	kb := ex.PRF("key expansion", kbSeed(sh.Random[:], ch.Random[:]), 40)
 
 	if !ccs { // msg is NewSessionTicket (reissue)
 		if err := recordTicket(cap, msg); err != nil {
@@ -355,7 +391,7 @@ func finishResumed(hc *hsConn, cfg *Config, cap *Capture, ch *wire.ClientHello, 
 	if err != nil {
 		return err
 	}
-	want := prf.FinishedHash(master, "server finished", preServer)
+	want := ex.PRF("server finished", preServer, 12)
 	if fin.Type != wire.TypeFinished || !equal(fin.Body, want) {
 		return errors.New("tls: bad server Finished on resumption")
 	}
@@ -367,7 +403,7 @@ func finishResumed(hc *hsConn, cfg *Config, cap *Capture, ch *wire.ClientHello, 
 	if err := hc.rc.ArmWrite(kb[0:16], kb[32:36]); err != nil {
 		return err
 	}
-	cfin := &wire.Msg{Type: wire.TypeFinished, Body: prf.FinishedHash(master, "client finished", preClient)}
+	cfin := &wire.Msg{Type: wire.TypeFinished, Body: ex.PRF("client finished", preClient, 12)}
 	if err := hc.writeMsg(cfin); err != nil {
 		return err
 	}
@@ -408,15 +444,92 @@ func appData(hc *hsConn, cfg *Config, cap *Capture) error {
 	if rec.Type != record.TypeAppData {
 		return fmt.Errorf("tls: expected application data, got record type %d", rec.Type)
 	}
-	cap.AppResp = rec.Payload
+	// Payload aliases the record layer's reusable read buffer; the capture
+	// outlives the connection, so copy.
+	cap.AppResp = append([]byte(nil), rec.Payload...)
 	return nil
+}
+
+// fixedECDHEKey returns the process-wide fixed client P-256 key, derived
+// from a constant drbg stream so every run agrees on it.
+var fixedECDHE struct {
+	once sync.Once
+	key  *ecdh.PrivateKey
+}
+
+func fixedECDHEKey() *ecdh.PrivateKey {
+	fixedECDHE.once.Do(func() {
+		// Explicit scalar bytes, not GenerateKey: GenerateKey does not
+		// consume a reader deterministically, and this key must be the
+		// same in every process.
+		r := drbg.NewString("tlsclient|fixed-ecdhe")
+		for i := 0; i < 64; i++ {
+			var seed [32]byte
+			if _, err := io.ReadFull(r, seed[:]); err != nil {
+				break
+			}
+			if k, err := ecdh.P256().NewPrivateKey(seed[:]); err == nil {
+				fixedECDHE.key = k
+				return
+			}
+		}
+		panic("tlsclient: fixed ECDHE derivation failed")
+	})
+	return fixedECDHE.key
+}
+
+// fixedDHEKey returns the fixed client DH exponent and the memoized g^x
+// for the given group (the population uses one group, so this is a single
+// modexp per process instead of one per scan).
+var fixedDHE struct {
+	mu sync.Mutex
+	m  map[string][2]*big.Int // P||G -> {x, g^x}
+}
+
+func fixedDHEKey(p, g *big.Int) (x, yc *big.Int) {
+	key := string(p.Bytes()) + "|" + string(g.Bytes())
+	fixedDHE.mu.Lock()
+	defer fixedDHE.mu.Unlock()
+	if v, ok := fixedDHE.m[key]; ok {
+		return v[0], v[1]
+	}
+	var xb [32]byte
+	_, _ = io.ReadFull(drbg.NewString("tlsclient|fixed-dhe"), xb[:])
+	x = new(big.Int).SetBytes(xb[:])
+	yc = new(big.Int).Exp(g, x, p)
+	if fixedDHE.m == nil {
+		fixedDHE.m = make(map[string][2]*big.Int)
+	}
+	fixedDHE.m[key] = [2]*big.Int{x, yc}
+	return x, yc
+}
+
+// leafCache memoizes x509.ParseCertificate by leaf fingerprint: the
+// scanner re-parses the same few hundred leaves tens of thousands of
+// times to check ServerKeyExchange signatures.
+var leafCache sync.Map // [32]byte -> *x509.Certificate
+
+func parseLeaf(der []byte) (*x509.Certificate, error) {
+	if !perf.CryptoCaches() {
+		return x509.ParseCertificate(der)
+	}
+	key := sha256.Sum256(der)
+	if v, ok := leafCache.Load(key); ok {
+		return v.(*x509.Certificate), nil
+	}
+	leaf, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	leafCache.Store(key, leaf)
+	return leaf, nil
 }
 
 func verifySKE(chain [][]byte, ske *wire.SKE, clientRandom, serverRandom []byte) error {
 	if len(chain) == 0 {
 		return errors.New("tls: no certificate to verify ServerKeyExchange")
 	}
-	leaf, err := x509.ParseCertificate(chain[0])
+	leaf, err := parseLeaf(chain[0])
 	if err != nil {
 		return err
 	}
@@ -432,6 +545,14 @@ func verifySKE(chain [][]byte, ske *wire.SKE, clientRandom, serverRandom []byte)
 		return errors.New("tls: unsupported server public key")
 	}
 	return nil
+}
+
+// kbSeed builds the key-expansion seed (server random first, RFC 5246
+// §6.3).
+func kbSeed(serverRandom, clientRandom []byte) []byte {
+	seed := make([]byte, 0, 64)
+	seed = append(seed, serverRandom...)
+	return append(seed, clientRandom...)
 }
 
 func equal(a, b []byte) bool {

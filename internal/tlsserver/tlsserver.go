@@ -12,13 +12,17 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"hash"
 	"io"
 	"math/big"
 	"net"
+	"sync"
 	"time"
 
+	"tlsshortcuts/internal/drbg"
 	"tlsshortcuts/internal/ffdh"
 	"tlsshortcuts/internal/keyex"
+	"tlsshortcuts/internal/perf"
 	"tlsshortcuts/internal/pki"
 	"tlsshortcuts/internal/prf"
 	"tlsshortcuts/internal/record"
@@ -59,6 +63,12 @@ type Config struct {
 	// IDs); nil means crypto/rand.
 	Rand io.Reader
 
+	// RandSeed, when non-nil and Rand is nil, makes the terminator's
+	// entropy deterministic: each connection draws from a drbg stream
+	// keyed by (RandSeed, ClientHello.Random). Campaigns set this so the
+	// same study seed replays byte-identical datasets.
+	RandSeed []byte
+
 	// Respond maps one application-data record to a response; nil gives
 	// a canned HTTP 200.
 	Respond func([]byte) []byte
@@ -78,6 +88,19 @@ func (c *Config) rand() io.Reader {
 	return crand.Reader
 }
 
+// connRand returns the entropy source for one connection. With RandSeed
+// set it is a fresh deterministic stream per ClientHello (the client
+// random salts it, so concurrent connections never share a stream).
+func (c *Config) connRand(clientRandom []byte) io.Reader {
+	if c.Rand != nil {
+		return c.Rand
+	}
+	if c.RandSeed != nil {
+		return drbg.New(c.RandSeed, clientRandom)
+	}
+	return crand.Reader
+}
+
 func (c *Config) certFor(sni string) *pki.Certificate {
 	if c.Certs != nil {
 		if crt, ok := c.Certs[sni]; ok {
@@ -92,17 +115,23 @@ func (c *Config) certFor(sni string) *pki.Certificate {
 type hsConn struct {
 	rc   *record.Conn
 	buf  []byte
-	hash []byte // raw transcript; hashed on demand
+	hash hash.Hash // running transcript digest
 }
 
+// transcript returns the hash of the handshake messages so far. Sum does
+// not disturb the running state, so no copy of the digest is needed.
 func (h *hsConn) transcript() []byte {
-	s := sha256.Sum256(h.hash)
-	return s[:]
+	return h.hash.Sum(nil)
 }
 
 func (h *hsConn) writeMsg(m *wire.Msg) error {
-	b := m.Marshal()
-	h.hash = append(h.hash, b...)
+	return h.writeRaw(m.Marshal())
+}
+
+// writeRaw sends pre-marshaled handshake bytes (the cert-chain message is
+// marshaled once per certificate, not once per connection).
+func (h *hsConn) writeRaw(b []byte) error {
+	h.hash.Write(b)
 	return h.rc.WriteRecord(record.TypeHandshake, b)
 }
 
@@ -115,7 +144,7 @@ func (h *hsConn) readMsg() (m *wire.Msg, ccs bool, err error) {
 			if len(h.buf) >= 4+n {
 				raw := h.buf[:4+n]
 				h.buf = h.buf[4+n:]
-				h.hash = append(h.hash, raw...)
+				h.hash.Write(raw)
 				return &wire.Msg{Type: raw[0], Body: raw[4:]}, false, nil
 			}
 		}
@@ -146,7 +175,7 @@ func alertError(p []byte) error {
 // Serve runs one server-side connection to completion: handshake, then an
 // application-data echo loop until the peer closes.
 func Serve(conn net.Conn, cfg *Config) error {
-	hc := &hsConn{rc: record.NewConn(conn)}
+	hc := &hsConn{rc: record.NewConn(conn), hash: sha256.New()}
 	st, err := handshake(hc, cfg)
 	if err != nil {
 		return err
@@ -197,10 +226,8 @@ func handshake(hc *hsConn, cfg *Config) (*session.State, error) {
 
 	// Ticket resumption?
 	if len(ch.Ticket) > 0 && cfg.Tickets != nil {
-		if k := cfg.Tickets.LookupKey(ch.Ticket, now); k != nil {
-			if st := k.Open(ch.Ticket); st != nil && suiteOffered(ch.Suites, st.Suite) {
-				return st, resume(hc, cfg, ch, st, now)
-			}
+		if st := cfg.Tickets.OpenTicket(ch.Ticket, now); st != nil && suiteOffered(ch.Suites, st.Suite) {
+			return st, resume(hc, cfg, ch, st, now)
 		}
 	}
 	// Session-ID resumption?
@@ -248,7 +275,7 @@ func full(hc *hsConn, cfg *Config, ch *wire.ClientHello, now time.Time) (*sessio
 		hc.rc.WriteAlert(record.AlertHandshakeFailure)
 		return nil, errors.New("tls: no certificate configured")
 	}
-	rnd := cfg.rand()
+	rnd := cfg.connRand(ch.Random[:])
 
 	sh := &wire.ServerHello{Suite: suite}
 	if _, err := io.ReadFull(rnd, sh.Random[:]); err != nil {
@@ -265,7 +292,7 @@ func full(hc *hsConn, cfg *Config, ch *wire.ClientHello, now time.Time) (*sessio
 	if err := hc.writeMsg(sh.Marshal()); err != nil {
 		return nil, err
 	}
-	if err := hc.writeMsg(wire.MarshalCertificate(crt.Chain)); err != nil {
+	if err := hc.writeRaw(certMsgBytes(crt)); err != nil {
 		return nil, err
 	}
 
@@ -274,11 +301,11 @@ func full(hc *hsConn, cfg *Config, ch *wire.ClientHello, now time.Time) (*sessio
 	ske := &wire.SKE{Kex: wire.SuiteKex(suite)}
 	switch ske.Kex {
 	case wire.KexECDHE:
-		priv, err := keyex.ECDHEKey(cfg.ECDHEPolicy, now, rnd)
+		priv, pub, err := keyex.ECDHEKeyPub(cfg.ECDHEPolicy, now, rnd)
 		if err != nil {
 			return nil, err
 		}
-		ske.Public = priv.PublicKey().Bytes()
+		ske.Public = pub
 		premasterFn = func(clientPub []byte) ([]byte, error) {
 			pk, err := ecdh.P256().NewPublicKey(clientPub)
 			if err != nil {
@@ -288,13 +315,12 @@ func full(hc *hsConn, cfg *Config, ch *wire.ClientHello, now time.Time) (*sessio
 		}
 	case wire.KexDHE:
 		g := ffdh.TestGroup512()
-		seed, err := keyex.DHEPrivate(g, cfg.DHEPolicy, now, rnd)
+		priv, pub, err := keyex.DHEKey(g, cfg.DHEPolicy, now, rnd)
 		if err != nil {
 			return nil, err
 		}
-		priv := g.PrivateFromSeed(seed)
-		ske.P, ske.G = g.P.Bytes(), g.G.Bytes()
-		ske.Public = g.Bytes(g.Public(priv))
+		ske.P, ske.G = g.ParamBytes()
+		ske.Public = pub
 		premasterFn = func(clientPub []byte) ([]byte, error) {
 			return g.Shared(priv, new(big.Int).SetBytes(clientPub))
 		}
@@ -303,7 +329,7 @@ func full(hc *hsConn, cfg *Config, ch *wire.ClientHello, now time.Time) (*sessio
 		return nil, fmt.Errorf("tls: unsupported key exchange for suite %04x", suite)
 	}
 	digest := sha256.Sum256(ske.SignedParams(ch.Random[:], sh.Random[:]))
-	sig, err := crt.Key.Sign(cfg.rand(), digest[:], crypto.SHA256)
+	sig, err := crt.Key.Sign(rnd, digest[:], crypto.SHA256)
 	if err != nil {
 		return nil, err
 	}
@@ -332,10 +358,11 @@ func full(hc *hsConn, cfg *Config, ch *wire.ClientHello, now time.Time) (*sessio
 		return nil, err
 	}
 	master := prf.MasterSecret(premaster, ch.Random[:], sh.Random[:])
+	ex := prf.NewExpander(master)
 
 	// Client CCS + Finished. Only the read direction is armed here: the
 	// NewSessionTicket must still go out in plaintext before our CCS.
-	kb := prf.KeyBlock(master, sh.Random[:], ch.Random[:], 40)
+	kb := ex.PRF("key expansion", kbSeed(sh.Random[:], ch.Random[:]), 40)
 	preFinished := hc.transcript()
 	if _, ccs, err := hc.readMsg(); err != nil {
 		return nil, err
@@ -349,7 +376,7 @@ func full(hc *hsConn, cfg *Config, ch *wire.ClientHello, now time.Time) (*sessio
 	if err != nil {
 		return nil, err
 	}
-	want := prf.FinishedHash(master, "client finished", preFinished)
+	want := ex.PRF("client finished", preFinished, 12)
 	if fin.Type != wire.TypeFinished || !bytesEqual(fin.Body, want) {
 		hc.rc.WriteAlert(record.AlertHandshakeFailure)
 		return nil, errors.New("tls: bad client Finished")
@@ -359,14 +386,14 @@ func full(hc *hsConn, cfg *Config, ch *wire.ClientHello, now time.Time) (*sessio
 	copy(st.MasterSecret[:], master)
 
 	if issueTicket {
-		if err := sendTicket(hc, cfg, st, now); err != nil {
+		if err := sendTicket(hc, cfg, st, now, rnd); err != nil {
 			return nil, err
 		}
 	}
 	if cfg.Cache != nil {
 		cfg.Cache.Put(sh.SessionID, st, now)
 	}
-	if err := finishServer(hc, master, kb); err != nil {
+	if err := finishServer(hc, ex, kb); err != nil {
 		return nil, err
 	}
 	return st, nil
@@ -374,7 +401,7 @@ func full(hc *hsConn, cfg *Config, ch *wire.ClientHello, now time.Time) (*sessio
 
 // resume completes an abbreviated handshake from cached/ticket state.
 func resume(hc *hsConn, cfg *Config, ch *wire.ClientHello, st *session.State, now time.Time) error {
-	rnd := cfg.rand()
+	rnd := cfg.connRand(ch.Random[:])
 	sh := &wire.ServerHello{Suite: st.Suite, SessionID: ch.SessionID}
 	if _, err := io.ReadFull(rnd, sh.Random[:]); err != nil {
 		return err
@@ -385,21 +412,21 @@ func resume(hc *hsConn, cfg *Config, ch *wire.ClientHello, st *session.State, no
 		return err
 	}
 	if reissue {
-		if err := sendTicket(hc, cfg, st, now); err != nil {
+		if err := sendTicket(hc, cfg, st, now, rnd); err != nil {
 			return err
 		}
 	}
-	master := st.MasterSecret[:]
+	ex := prf.NewExpander(st.MasterSecret[:])
 	// Server Finished first on resumption.
 	preFinished := hc.transcript()
 	if err := hc.rc.WriteRecord(record.TypeChangeCipherSpec, []byte{1}); err != nil {
 		return err
 	}
-	kb := prf.KeyBlock(master, sh.Random[:], ch.Random[:], 40)
+	kb := ex.PRF("key expansion", kbSeed(sh.Random[:], ch.Random[:]), 40)
 	if err := hc.rc.ArmWrite(kb[16:32], kb[36:40]); err != nil {
 		return err
 	}
-	finMsg := &wire.Msg{Type: wire.TypeFinished, Body: prf.FinishedHash(master, "server finished", preFinished)}
+	finMsg := &wire.Msg{Type: wire.TypeFinished, Body: ex.PRF("server finished", preFinished, 12)}
 	if err := hc.writeMsg(finMsg); err != nil {
 		return err
 	}
@@ -417,16 +444,16 @@ func resume(hc *hsConn, cfg *Config, ch *wire.ClientHello, st *session.State, no
 	if err != nil {
 		return err
 	}
-	want := prf.FinishedHash(master, "client finished", preClient)
+	want := ex.PRF("client finished", preClient, 12)
 	if fin.Type != wire.TypeFinished || !bytesEqual(fin.Body, want) {
 		return errors.New("tls: bad client Finished on resumption")
 	}
 	return nil
 }
 
-func sendTicket(hc *hsConn, cfg *Config, st *session.State, now time.Time) error {
+func sendTicket(hc *hsConn, cfg *Config, st *session.State, now time.Time, rnd io.Reader) error {
 	k := cfg.Tickets.IssuingKey(now)
-	tkt, err := k.Seal(st, cfg.rand())
+	tkt, err := k.Seal(st, rnd)
 	if err != nil {
 		return err
 	}
@@ -438,7 +465,7 @@ func sendTicket(hc *hsConn, cfg *Config, st *session.State, now time.Time) error
 	return hc.writeMsg(nst.Marshal())
 }
 
-func finishServer(hc *hsConn, master, kb []byte) error {
+func finishServer(hc *hsConn, ex *prf.Expander, kb []byte) error {
 	preFinished := hc.transcript()
 	if err := hc.rc.WriteRecord(record.TypeChangeCipherSpec, []byte{1}); err != nil {
 		return err
@@ -446,8 +473,33 @@ func finishServer(hc *hsConn, master, kb []byte) error {
 	if err := hc.rc.ArmWrite(kb[16:32], kb[36:40]); err != nil {
 		return err
 	}
-	fin := &wire.Msg{Type: wire.TypeFinished, Body: prf.FinishedHash(master, "server finished", preFinished)}
+	fin := &wire.Msg{Type: wire.TypeFinished, Body: ex.PRF("server finished", preFinished, 12)}
 	return hc.writeMsg(fin)
+}
+
+// kbSeed builds the key-expansion seed (server random first, RFC 5246
+// §6.3).
+func kbSeed(serverRandom, clientRandom []byte) []byte {
+	seed := make([]byte, 0, 64)
+	seed = append(seed, serverRandom...)
+	return append(seed, clientRandom...)
+}
+
+// certMsgCache memoizes the marshaled Certificate handshake message per
+// certificate pointer. The chain never changes after pki builds it, so
+// the bytes are identical on every full handshake that serves it.
+var certMsgCache sync.Map // *pki.Certificate -> []byte
+
+func certMsgBytes(crt *pki.Certificate) []byte {
+	if !perf.CryptoCaches() {
+		return wire.MarshalCertificate(crt.Chain).Marshal()
+	}
+	if v, ok := certMsgCache.Load(crt); ok {
+		return v.([]byte)
+	}
+	b := wire.MarshalCertificate(crt.Chain).Marshal()
+	certMsgCache.Store(crt, b)
+	return b
 }
 
 func bytesEqual(a, b []byte) bool {
