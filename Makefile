@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-campaign fmt
+.PHONY: build test test-faults race bench bench-campaign fmt
 
 build:
 	$(GO) build ./...
@@ -9,6 +9,13 @@ test:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test -short ./...
+
+# Lossy-network robustness suite: fault plan determinism, scan deadlines
+# and retries, the error taxonomy, cache sweeping, and the empty-plan
+# golden-hash inertness proof.
+test-faults:
+	$(GO) test -run 'Fault|Stall|Refus|Reset|Retry|Transient|Classify|Churn|Decide|Sweep|Len|Expire|NoRoute|Clearing|Golden' \
+		./internal/faults ./internal/simnet ./internal/scanner ./internal/session ./internal/study
 
 race:
 	$(GO) test -race ./...

@@ -10,6 +10,7 @@
 package tlsshortcuts
 
 import (
+	"tlsshortcuts/internal/faults"
 	"tlsshortcuts/internal/population"
 	"tlsshortcuts/internal/scanner"
 	"tlsshortcuts/internal/simclock"
@@ -22,6 +23,17 @@ type WorldOptions = population.Options
 
 // StudyOptions configures a measurement campaign.
 type StudyOptions = study.Options
+
+// FaultOptions configures deterministic network fault injection for a
+// campaign (StudyOptions.Faults). The zero value injects nothing.
+type FaultOptions = faults.Options
+
+// ErrClass is the scan-failure taxonomy (dial / timeout / reset / alert /
+// protocol) carried in observations and the dataset failure table.
+type ErrClass = faults.ErrClass
+
+// ClassifyError maps one scan connection's error into the taxonomy.
+func ClassifyError(err error) ErrClass { return faults.Classify(err) }
 
 // World is the simulated population.
 type World = population.World

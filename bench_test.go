@@ -383,7 +383,7 @@ func BenchmarkAblationGroupSampling(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for j, budget := range budgets {
-			uf := scan.CrossDomainGroups(targets, world.Net, budget, budget)
+			uf, _ := scan.CrossDomainGroups(targets, world.Net, budget, budget)
 			recall[j] = grouped(uf)
 		}
 	}

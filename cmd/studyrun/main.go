@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"time"
 
+	"tlsshortcuts/internal/faults"
 	"tlsshortcuts/internal/study"
 )
 
@@ -28,6 +29,16 @@ func main() {
 		out      = flag.String("out", "dataset.json", "output dataset path")
 		report   = flag.Bool("report", true, "print the full report after the run")
 		quiet    = flag.Bool("quiet", false, "suppress progress logging")
+
+		probeTimeout = flag.Duration("probe-timeout", 0, "per-connection deadline (0 = scanner default, <0 disables)")
+		retries      = flag.Int("retries", 0, "transient-failure retries (0 = scanner default, <0 disables)")
+		faultSeed    = flag.Int64("fault-seed", 0, "fault plan seed (defaults to -seed)")
+		faultRefuse  = flag.Float64("fault-refuse", 0, "per-dial refusal probability")
+		faultReset   = flag.Float64("fault-reset", 0, "per-dial mid-handshake reset probability")
+		faultStall   = flag.Float64("fault-stall", 0, "per-dial stalled-server probability")
+		faultFlap    = flag.Float64("fault-flap", 0, "per-(backend,day) outage probability")
+		faultChurn   = flag.Float64("fault-churn", 0, "per-domain churn-window probability")
+		churnDays    = flag.Int("fault-churn-days", 3, "max churn window length in days")
 	)
 	flag.Parse()
 
@@ -36,20 +47,47 @@ func main() {
 			log.Printf(format, args...)
 		}
 	}
+	var fo *faults.Options
+	if *faultRefuse > 0 || *faultReset > 0 || *faultStall > 0 || *faultFlap > 0 || *faultChurn > 0 {
+		fs := *faultSeed
+		if fs == 0 {
+			fs = *seed
+		}
+		fo = &faults.Options{
+			Seed:         fs,
+			Refuse:       *faultRefuse,
+			Reset:        *faultReset,
+			Stall:        *faultStall,
+			Flap:         *faultFlap,
+			Churn:        *faultChurn,
+			ChurnMaxDays: *churnDays,
+		}
+	}
 	logf("building %d-domain world and running %d-day campaign (seed %d, %d workers)",
 		*listSize, *days, *seed, *workers)
 	start := time.Now()
 	ds, err := study.Run(study.Options{
-		ListSize: *listSize,
-		Days:     *days,
-		Seed:     *seed,
-		Workers:  *workers,
-		Logf:     logf,
+		ListSize:     *listSize,
+		Days:         *days,
+		Seed:         *seed,
+		Workers:      *workers,
+		Logf:         logf,
+		Faults:       fo,
+		ProbeTimeout: *probeTimeout,
+		Retries:      *retries,
 	})
 	if err != nil {
 		log.Fatalf("study failed: %v", err)
 	}
 	logf("campaign finished in %v; writing %s", time.Since(start).Round(time.Second), *out)
+	if len(ds.Failures) > 0 {
+		total := 0
+		for _, f := range ds.Failures {
+			total += f.Count
+		}
+		logf("scan failures: %d across %d (scan, class) cells; %d domains with missed days",
+			total, len(ds.Failures), len(ds.MissedDays))
+	}
 	if err := ds.Save(*out); err != nil {
 		log.Fatalf("saving dataset: %v", err)
 	}

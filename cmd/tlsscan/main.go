@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"tlsshortcuts/internal/faults"
 	"tlsshortcuts/internal/pki"
 	"tlsshortcuts/internal/population"
 	"tlsshortcuts/internal/simclock"
@@ -35,6 +36,7 @@ type scanOutput struct {
 	Domain       string `json:"domain"`
 	OK           bool   `json:"ok"`
 	Error        string `json:"error,omitempty"`
+	ErrClass     string `json:"error_class,omitempty"`
 	Trusted      bool   `json:"trusted"`
 	CipherSuite  string `json:"cipher_suite,omitempty"`
 	KexAlg       string `json:"kex,omitempty"`
@@ -57,6 +59,7 @@ func main() {
 		conns    = flag.Int("conns", 1, "connections in quick succession")
 		suiteStr = flag.String("suites", "ecdhe,dhe,rsa", "offer order (csv of ecdhe,dhe,rsa)")
 		resume   = flag.String("resume", "", "after the first handshake, resume via 'id' or 'ticket'")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-connection read/write deadline (0 disables)")
 		demo     = flag.Bool("demo", false, "run a self-contained scan self-check and exit")
 	)
 	flag.Parse()
@@ -111,7 +114,12 @@ func main() {
 		}
 		conn, err := dial()
 		if err != nil {
-			log.Fatalf("dial: %v", err)
+			out := scanOutput{Domain: serverName, Error: err.Error(), ErrClass: string(faults.ClassDial)}
+			_ = enc.Encode(out)
+			os.Exit(1)
+		}
+		if *timeout > 0 {
+			_ = conn.SetDeadline(time.Now().Add(*timeout))
 		}
 		cap, err := tlsclient.Handshake(conn, cfg)
 		conn.Close()
@@ -180,6 +188,7 @@ func render(domain string, cap *tlsclient.Capture, err error) scanOutput {
 	out := scanOutput{Domain: domain, OK: err == nil}
 	if err != nil {
 		out.Error = err.Error()
+		out.ErrClass = string(faults.Classify(err))
 	}
 	if cap == nil {
 		return out

@@ -1,0 +1,161 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+	"time"
+
+	"tlsshortcuts/internal/simclock"
+)
+
+func TestZeroOptionsCompileToNilPlan(t *testing.T) {
+	clock := simclock.NewManual(simclock.Epoch)
+	if p := NewPlan(Options{Seed: 42}, clock); p != nil {
+		t.Fatalf("zero options should compile to nil plan, got %+v", p)
+	}
+	var p *Plan
+	if p.Active() {
+		t.Fatal("nil plan must be inactive")
+	}
+	if f := p.Decide("a.example", "x", 0, 1); f.Kind != None {
+		t.Fatalf("nil plan decided %v", f.Kind)
+	}
+	if _, _, ok := p.ChurnWindow("a.example"); ok {
+		t.Fatal("nil plan assigned a churn window")
+	}
+}
+
+func TestDecideDeterministicAndSeedSensitive(t *testing.T) {
+	clock := simclock.NewManual(simclock.Epoch)
+	o := Options{Seed: 7, Refuse: 0.1, Reset: 0.1, Stall: 0.1, Flap: 0.05, Churn: 0.2, Days: 16}
+	a, b := NewPlan(o, clock), NewPlan(o, clock)
+	o2 := o
+	o2.Seed = 8
+	c := NewPlan(o2, clock)
+	differs := false
+	for dom := 0; dom < 20; dom++ {
+		domain := fmt.Sprintf("site-%03d.example", dom)
+		for probe := 0; probe < 10; probe++ {
+			label := fmt.Sprintf("daily|ticket|%d|1", probe)
+			fa, fb := a.Decide(domain, label, 0, 0), b.Decide(domain, label, 0, 0)
+			if fa != fb {
+				t.Fatalf("same seed diverged on (%s, %s): %v vs %v", domain, label, fa, fb)
+			}
+			if fa != c.Decide(domain, label, 0, 0) {
+				differs = true
+			}
+		}
+	}
+	if !differs {
+		t.Fatal("different seeds produced identical decisions everywhere")
+	}
+}
+
+func TestRatesRealized(t *testing.T) {
+	clock := simclock.NewManual(simclock.Epoch)
+	if f := NewPlan(Options{Seed: 1, Refuse: 1}, clock).Decide("a.example", "l", 0, 0); f.Kind != Refuse {
+		t.Fatalf("Refuse=1 decided %v", f.Kind)
+	}
+	if f := NewPlan(Options{Seed: 1, Reset: 1}, clock).Decide("a.example", "l", 0, 0); f.Kind != Reset {
+		t.Fatalf("Reset=1 decided %v", f.Kind)
+	} else if f.AllowWrites < 0 || f.AllowWrites > 2 {
+		t.Fatalf("AllowWrites out of range: %d", f.AllowWrites)
+	}
+	if f := NewPlan(Options{Seed: 1, Stall: 1}, clock).Decide("a.example", "l", 0, 0); f.Kind != Stall {
+		t.Fatalf("Stall=1 decided %v", f.Kind)
+	}
+	if f := NewPlan(Options{Seed: 1, Flap: 1}, clock).Decide("a.example", "l", 0, 0); f.Kind != Flap {
+		t.Fatalf("Flap=1 decided %v", f.Kind)
+	}
+	// A moderate rate should fault some probes and pass others.
+	p := NewPlan(Options{Seed: 3, Refuse: 0.2}, clock)
+	faulted, passed := 0, 0
+	for i := 0; i < 200; i++ {
+		if p.Decide("a.example", fmt.Sprintf("l%d", i), 0, 0).Kind == Refuse {
+			faulted++
+		} else {
+			passed++
+		}
+	}
+	if faulted == 0 || passed == 0 {
+		t.Fatalf("Refuse=0.2 over 200 probes: %d faulted, %d passed", faulted, passed)
+	}
+}
+
+func TestChurnWindowBoundsAndDayMapping(t *testing.T) {
+	clock := simclock.NewManual(simclock.Epoch)
+	o := Options{Seed: 5, Churn: 1, Days: 10, ChurnMaxDays: 3, Base: simclock.Epoch}
+	p := NewPlan(o, clock)
+	start, end, ok := p.ChurnWindow("site-001.example")
+	if !ok {
+		t.Fatal("Churn=1 assigned no window")
+	}
+	if start < 0 || end > o.Days || end-start < 1 || end-start > o.ChurnMaxDays {
+		t.Fatalf("window [%d,%d) out of bounds for Days=%d max=%d", start, end, o.Days, o.ChurnMaxDays)
+	}
+	for day := 0; day < o.Days; day++ {
+		clock.Set(simclock.Epoch.Add(time.Duration(day) * 24 * time.Hour))
+		got := p.Decide("site-001.example", "l", 0, 0).Kind
+		want := got != Churn
+		if day >= start && day < end {
+			want = got == Churn
+		}
+		if !want {
+			t.Fatalf("day %d (window [%d,%d)): decided %v", day, start, end, got)
+		}
+	}
+}
+
+func TestStallDomains(t *testing.T) {
+	clock := simclock.NewManual(simclock.Epoch)
+	p := NewPlan(Options{Seed: 1, StallDomains: []string{"yahoo.com"}}, clock)
+	for i := 0; i < 5; i++ {
+		if f := p.Decide("yahoo.com", fmt.Sprintf("l%d", i), 0, 0); f.Kind != Stall {
+			t.Fatalf("stall domain decided %v", f.Kind)
+		}
+	}
+	if f := p.Decide("google.com", "l", 0, 0); f.Kind != None {
+		t.Fatalf("non-stall domain decided %v", f.Kind)
+	}
+}
+
+type fakeAlert struct{ code uint8 }
+
+func (f *fakeAlert) Error() string    { return "alert" }
+func (f *fakeAlert) AlertCode() uint8 { return f.code }
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want ErrClass
+	}{
+		{nil, ClassNone},
+		{&DialError{Domain: "a", Reason: "refused"}, ClassDial},
+		{fmt.Errorf("wrap: %w", &DialError{Domain: "a", Reason: "x"}), ClassDial},
+		{os.ErrDeadlineExceeded, ClassTimeout},
+		{fmt.Errorf("read: %w", os.ErrDeadlineExceeded), ClassTimeout},
+		{io.EOF, ClassReset},
+		{io.ErrUnexpectedEOF, ClassReset},
+		{io.ErrClosedPipe, ClassReset},
+		{&fakeAlert{40}, ClassAlert},
+		{errors.New("tls: bad record MAC"), ClassProtocol},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+	for _, c := range []ErrClass{ClassDial, ClassTimeout, ClassReset} {
+		if !Transient(c) {
+			t.Errorf("Transient(%q) = false", c)
+		}
+	}
+	for _, c := range []ErrClass{ClassNone, ClassAlert, ClassProtocol} {
+		if Transient(c) {
+			t.Errorf("Transient(%q) = true", c)
+		}
+	}
+}

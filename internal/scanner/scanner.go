@@ -6,8 +6,10 @@
 package scanner
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"math/rand"
 	"net"
 	"sort"
@@ -16,6 +18,7 @@ import (
 	"time"
 
 	"tlsshortcuts/internal/drbg"
+	"tlsshortcuts/internal/faults"
 	"tlsshortcuts/internal/perf"
 	"tlsshortcuts/internal/pki"
 	"tlsshortcuts/internal/simclock"
@@ -28,6 +31,14 @@ import (
 // simulation, *simnet.Net).
 type Dialer interface {
 	Dial(domain string) (net.Conn, error)
+}
+
+// ProbeDialer is a Dialer that also accepts the probe's identity label,
+// letting the network key per-dial decisions (fault injection, balancer
+// choice under a fault plan) on the probe rather than on racy global
+// dial order. The scanner uses it when available.
+type ProbeDialer interface {
+	DialProbe(domain, label string) (net.Conn, error)
 }
 
 // Topology exposes the AS/IP neighbor lists the cross-domain probes walk.
@@ -47,13 +58,57 @@ type Scanner struct {
 	// deterministic function of (Seed, domain, probe label), so a
 	// campaign replays byte-identically. nil keeps crypto/rand.
 	Seed []byte
+
+	// Timeout bounds each connection in wall time: the scanner arms the
+	// conn's read/write deadline so a stalled backend surfaces as a
+	// timeout instead of deadlocking a campaign worker forever.
+	// 0 means DefaultTimeout; negative disables deadlines.
+	Timeout time.Duration
+
+	// Retries is how many times a transiently failed probe (dial /
+	// timeout / reset — never alert or protocol, which are deterministic
+	// answers) is re-attempted with fresh entropy and a seed-
+	// deterministic virtual-clock backoff. 0 means DefaultRetries;
+	// negative disables retries.
+	Retries int
 }
+
+// Scan hardening defaults: generous wall-clock deadline (simnet
+// handshakes finish in microseconds; only a stalled peer ever reaches
+// it) and two retries, matching common active-scan practice.
+const (
+	DefaultTimeout = 5 * time.Second
+	DefaultRetries = 2
+
+	backoffBase = 250 * time.Millisecond
+	backoffCap  = 8 * time.Second
+)
 
 func (s *Scanner) workers() int {
 	if s.Workers > 0 {
 		return s.Workers
 	}
 	return 8
+}
+
+func (s *Scanner) timeout() time.Duration {
+	switch {
+	case s.Timeout > 0:
+		return s.Timeout
+	case s.Timeout < 0:
+		return 0
+	}
+	return DefaultTimeout
+}
+
+func (s *Scanner) retries() int {
+	switch {
+	case s.Retries > 0:
+		return s.Retries
+	case s.Retries < 0:
+		return 0
+	}
+	return DefaultRetries
 }
 
 // forEach runs fn(i) for i in [0,n) on the worker pool. Workers claim
@@ -88,25 +143,92 @@ func (s *Scanner) forEach(n int, fn func(i int)) {
 	wg.Wait()
 }
 
-// connect opens one scan connection. label names the probe (scan kind,
-// day, connection number) so that with a seeded scanner each connection
-// draws from its own reproducible entropy stream regardless of worker
-// scheduling.
-func (s *Scanner) connect(domain, label string, cfg *tlsclient.Config) (*tlsclient.Capture, error) {
-	conn, err := s.Dialer.Dial(domain)
+// connect opens one scan connection, retrying transient failures with a
+// bounded, seed-deterministic backoff applied on the virtual clock. label
+// names the probe (scan kind, day, connection number) so that with a
+// seeded scanner each connection — including each retry, which gets a
+// "|r<k>" suffix — draws from its own reproducible entropy stream
+// regardless of worker scheduling. The returned class is the LAST
+// attempt's failure classification (ClassNone on success).
+func (s *Scanner) connect(domain, label string, cfg *tlsclient.Config) (*tlsclient.Capture, faults.ErrClass, error) {
+	callerRand := cfg.Rand
+	var wait time.Duration
+	for attempt := 0; ; attempt++ {
+		alabel := label
+		if attempt > 0 {
+			alabel = fmt.Sprintf("%s|r%d", label, attempt)
+		}
+		cap, class, err := s.connectOnce(domain, alabel, cfg, callerRand, wait)
+		if err == nil || attempt >= s.retries() || !faults.Transient(class) {
+			return cap, class, err
+		}
+		wait += s.backoff(domain, label, attempt)
+	}
+}
+
+// connectOnce opens a single connection attempt. wait is the accumulated
+// retry backoff: rather than mutating the shared lockstep clock (which
+// would race against other workers and shift every concurrent probe), the
+// attempt sees a per-connection offset view of virtual time.
+func (s *Scanner) connectOnce(domain, label string, cfg *tlsclient.Config, callerRand io.Reader, wait time.Duration) (*tlsclient.Capture, faults.ErrClass, error) {
+	var conn net.Conn
+	var err error
+	if pd, ok := s.Dialer.(ProbeDialer); ok {
+		conn, err = pd.DialProbe(domain, label)
+	} else {
+		conn, err = s.Dialer.Dial(domain)
+	}
 	if err != nil {
-		return nil, err
+		return nil, faults.ClassDial, err
 	}
 	defer conn.Close()
+	if t := s.timeout(); t > 0 {
+		_ = conn.SetDeadline(time.Now().Add(t))
+	}
 	cfg.ServerName = domain
 	cfg.Clock = s.Clock
+	if wait > 0 && s.Clock != nil {
+		cfg.Clock = offsetClock{base: s.Clock, off: wait}
+	}
 	cfg.Roots = s.Roots
 	cfg.ReuseKex = true
-	if cfg.Rand == nil && s.Seed != nil {
+	cfg.Rand = callerRand
+	if callerRand == nil && s.Seed != nil {
 		cfg.Rand = drbg.New(s.Seed, []byte(domain), []byte(label))
 	}
-	return tlsclient.Handshake(conn, cfg)
+	cap, err := tlsclient.Handshake(conn, cfg)
+	if err != nil {
+		return cap, faults.Classify(err), err
+	}
+	return cap, faults.ClassNone, nil
 }
+
+// backoff derives attempt k's virtual-time delay: exponential from
+// backoffBase with seed-deterministic jitter, capped at backoffCap.
+func (s *Scanner) backoff(domain, label string, attempt int) time.Duration {
+	d := backoffBase << uint(attempt)
+	if d > backoffCap {
+		d = backoffCap
+	}
+	if s.Seed != nil {
+		var jb [8]byte
+		r := drbg.New(s.Seed, []byte(domain), []byte(label), []byte(fmt.Sprintf("backoff|%d", attempt)))
+		_, _ = io.ReadFull(r, jb[:])
+		d += time.Duration(binary.BigEndian.Uint64(jb[:]) % uint64(backoffBase))
+	}
+	return d
+}
+
+// offsetClock shifts a base clock by a fixed amount for one connection,
+// so a retried probe "waits out" its backoff on the virtual timeline
+// without touching the shared clock other workers are synchronized on.
+type offsetClock struct {
+	base simclock.Clock
+	off  time.Duration
+}
+
+// Now returns the shifted virtual time.
+func (c offsetClock) Now() time.Time { return c.base.Now().Add(c.off) }
 
 // Observation is one domain's result from a daily scan.
 type Observation struct {
@@ -121,7 +243,14 @@ type Observation struct {
 	TicketIssued bool
 	LifetimeHint time.Duration
 	STEKID       []byte // stable ticket-key ID from the two-connection scan
-	Err          error
+	Err          error  `json:"-"`
+
+	// ErrClass classifies the first connection's failure; ErrClass2 the
+	// second (STEK-pair or KEX-reuse) connection's. A failed second
+	// connection is NOT the same observation as "no reuse seen" — the
+	// study excludes such pairs from reuse denominators.
+	ErrClass  faults.ErrClass `json:",omitempty"`
+	ErrClass2 faults.ErrClass `json:",omitempty"`
 }
 
 // Daily scans each domain once for the given virtual day. With
@@ -144,9 +273,10 @@ func (s *Scanner) Daily(domains []string, day int, suites []uint16, offerTicket 
 	s.forEach(len(domains), func(i int) {
 		o := Observation{Domain: domains[i], Day: day}
 		l1 := fmt.Sprintf("daily|%s|%d|1", kind, day)
-		cap1, err := s.connect(domains[i], l1, &tlsclient.Config{Suites: suites, OfferTicket: offerTicket, KexOnly: kexOnly})
+		cap1, class, err := s.connect(domains[i], l1, &tlsclient.Config{Suites: suites, OfferTicket: offerTicket, KexOnly: kexOnly})
 		if err != nil {
 			o.Err = err
+			o.ErrClass = class
 			out[i] = o
 			return
 		}
@@ -159,11 +289,18 @@ func (s *Scanner) Daily(domains []string, day int, suites []uint16, offerTicket 
 		o.LifetimeHint = cap1.LifetimeHint
 		l2 := fmt.Sprintf("daily|%s|%d|2", kind, day)
 		if offerTicket && cap1.TicketIssued {
-			if cap2, err := s.connect(domains[i], l2, &tlsclient.Config{Suites: suites, OfferTicket: true}); err == nil && cap2.TicketIssued {
+			cap2, class2, err := s.connect(domains[i], l2, &tlsclient.Config{Suites: suites, OfferTicket: true})
+			switch {
+			case err != nil:
+				o.ErrClass2 = class2
+			case cap2.TicketIssued:
 				o.STEKID = ticket.DetectKeyID(cap1.Ticket, cap2.Ticket)
 			}
 		} else if suites != nil {
-			if cap2, err := s.connect(domains[i], l2, &tlsclient.Config{Suites: suites, KexOnly: kexOnly}); err == nil {
+			cap2, class2, err := s.connect(domains[i], l2, &tlsclient.Config{Suites: suites, KexOnly: kexOnly})
+			if err != nil {
+				o.ErrClass2 = class2
+			} else {
 				o.KEXValue2 = cap2.ServerKEXValue
 			}
 		}
@@ -179,6 +316,10 @@ type ProbeResult struct {
 	ResumedAt1s bool          // the 1-second sanity resumption succeeded
 	MaxDelay    time.Duration // longest delay at which resumption still worked
 	Hint        time.Duration // server's ticket lifetime hint, if any
+
+	// ErrClass classifies the initial handshake's failure when OK is
+	// false for a network reason (empty for a clean "no session issued").
+	ErrClass faults.ErrClass `json:",omitempty"`
 }
 
 // LifetimeProbe measures how long sessions stay resumable (§3, Figures
@@ -201,8 +342,9 @@ func (s *Scanner) LifetimeProbe(targets []string, useTicket bool, poll, max time
 	sessions := make([]*tlsclient.Session, len(targets))
 	s.forEach(len(targets), func(i int) {
 		out[i].Domain = targets[i]
-		cap, err := s.connect(targets[i], "lt|"+mode+"|init", &tlsclient.Config{OfferTicket: useTicket})
+		cap, class, err := s.connect(targets[i], "lt|"+mode+"|init", &tlsclient.Config{OfferTicket: useTicket})
 		if err != nil {
+			out[i].ErrClass = class
 			return
 		}
 		if useTicket && !cap.TicketIssued {
@@ -218,7 +360,7 @@ func (s *Scanner) LifetimeProbe(targets []string, useTicket bool, poll, max time
 
 	alive := make([]bool, len(targets))
 	probe := func(i int, label string) bool {
-		cap, err := s.connect(targets[i], label, &tlsclient.Config{
+		cap, _, err := s.connect(targets[i], label, &tlsclient.Config{
 			Resume: sessions[i], ResumeViaTicket: useTicket,
 		})
 		return err == nil && cap.Resumed
@@ -259,24 +401,47 @@ func (s *Scanner) LifetimeProbe(targets []string, useTicket bool, poll, max time
 	return out
 }
 
+// XDStats counts the cross-domain pass's denominators, so failed probes
+// are distinguishable from genuinely unshared caches.
+type XDStats struct {
+	Probed      int // targets probed
+	Sessioned   int // targets whose initial handshake produced a session ID
+	InitFailed  int // targets whose initial handshake failed
+	ProbeFailed int // candidate resumption connections that failed
+}
+
 // CrossDomainGroups maps shared session caches (§5, Table 5): for each
 // target it establishes a session, then tries to resume it against up to
 // nAS same-AS and nIP same-IP neighbors, unioning every pair that accepts
 // a foreign session ID. Candidates are a prefix of a per-domain seeded
 // shuffle, so a larger budget strictly extends a smaller one.
-func (s *Scanner) CrossDomainGroups(targets []string, topo Topology, nAS, nIP int) *UnionFind {
+func (s *Scanner) CrossDomainGroups(targets []string, topo Topology, nAS, nIP int) (*UnionFind, XDStats) {
 	inPop := make(map[string]bool, len(targets))
 	for _, d := range targets {
 		inPop[d] = true
 	}
 	uf := NewUnionFind()
+	st := XDStats{Probed: len(targets)}
 	var mu sync.Mutex
 	s.forEach(len(targets), func(i int) {
 		domain := targets[i]
-		cap, err := s.connect(domain, "xd|init", &tlsclient.Config{})
-		if err != nil || len(cap.SessionID) == 0 {
+		cap, _, err := s.connect(domain, "xd|init", &tlsclient.Config{})
+		if err != nil {
+			mu.Lock()
+			st.InitFailed++
+			mu.Unlock()
 			return
 		}
+		if len(cap.SessionID) == 0 {
+			return
+		}
+		mu.Lock()
+		// Seed the union-find with every sessioned domain: Sets() then
+		// includes singletons, so "shares with nobody" is a group of one
+		// and is distinguishable from "handshake failed".
+		uf.Find(domain)
+		st.Sessioned++
+		mu.Unlock()
 		cands := seededPrefix(domain, topo.SameAS(domain), nAS)
 		cands = append(cands, seededPrefix(domain, topo.SameIP(domain), nIP)...)
 		seen := map[string]bool{domain: true}
@@ -285,14 +450,21 @@ func (s *Scanner) CrossDomainGroups(targets []string, topo Topology, nAS, nIP in
 				continue
 			}
 			seen[cand] = true
-			if c2, err := s.connect(cand, "xd|probe|"+domain, &tlsclient.Config{Resume: cap.Session}); err == nil && c2.Resumed {
+			c2, _, err := s.connect(cand, "xd|probe|"+domain, &tlsclient.Config{Resume: cap.Session})
+			if err != nil {
+				mu.Lock()
+				st.ProbeFailed++
+				mu.Unlock()
+				continue
+			}
+			if c2.Resumed {
 				mu.Lock()
 				uf.Union(domain, cand)
 				mu.Unlock()
 			}
 		}
 	})
-	return uf
+	return uf, st
 }
 
 // seededPrefix returns the first n elements of a deterministic per-domain

@@ -48,12 +48,26 @@ func Unmarshal(b []byte) (*State, error) {
 
 // Cache is a server-side session cache (ID -> State) with a lifetime
 // policy. The zero Lifetime means entries never expire by age.
+//
+// Expired entries are evicted on Get and by a periodic sweep piggybacked
+// on Put (every sweepEvery inserts): without the sweep, sessions never
+// re-touched — the overwhelming majority in a scan campaign — would
+// accumulate for the campaign's whole lifetime. The sweep only removes
+// entries Get would already refuse to return, so it is observationally
+// inert.
 type Cache struct {
 	Lifetime time.Duration
 
 	mu      sync.Mutex
 	entries map[string]entry
+	puts    int       // Put count, for sweep scheduling
+	lastNow time.Time // most recent time passed to Put/Get
 }
+
+// sweepEvery is how many Puts pass between expiry sweeps; the amortized
+// sweep cost per insert stays O(1) while dead state is bounded by one
+// sweep window.
+const sweepEvery = 128
 
 type entry struct {
 	st      *State
@@ -73,6 +87,11 @@ func (c *Cache) Put(id []byte, st *State, now time.Time) {
 		c.entries = make(map[string]entry)
 	}
 	c.entries[string(id)] = entry{st: st, created: now}
+	c.lastNow = now
+	c.puts++
+	if c.Lifetime > 0 && c.puts%sweepEvery == 0 {
+		c.sweepLocked(now)
+	}
 }
 
 // Get returns the live state for id at time now, or nil if absent or
@@ -80,6 +99,7 @@ func (c *Cache) Put(id []byte, st *State, now time.Time) {
 func (c *Cache) Get(id []byte, now time.Time) *State {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.lastNow = now
 	e, ok := c.entries[string(id)]
 	if !ok {
 		return nil
@@ -91,9 +111,24 @@ func (c *Cache) Get(id []byte, now time.Time) *State {
 	return e.st
 }
 
-// Len reports the number of stored (possibly expired) entries.
+// sweepLocked drops every entry that Get would refuse at time now.
+// Callers hold c.mu.
+func (c *Cache) sweepLocked(now time.Time) {
+	for k, e := range c.entries {
+		if now.Sub(e.created) > c.Lifetime {
+			delete(c.entries, k)
+		}
+	}
+}
+
+// Len reports the number of live entries as of the most recent time the
+// cache was told about (the lifetime probes rewind the virtual clock, so
+// the cache tracks the latest Put/Get time rather than calling time.Now).
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.Lifetime > 0 {
+		c.sweepLocked(c.lastNow)
+	}
 	return len(c.entries)
 }

@@ -1,0 +1,88 @@
+package session
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+)
+
+func sid(i int) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, uint64(i))
+	return b
+}
+
+func TestSweepOnPutEvictsExpiredEntries(t *testing.T) {
+	c := NewCache(time.Hour)
+	t0 := time.Date(2016, time.March, 2, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 100; i++ {
+		c.Put(sid(i), &State{}, t0)
+	}
+	// 100 more puts two hours later: the first batch is expired, and put
+	// number 128 triggers the periodic sweep that removes it.
+	t1 := t0.Add(2 * time.Hour)
+	for i := 100; i < 200; i++ {
+		c.Put(sid(i), &State{}, t1)
+	}
+	// Inspect the map directly (Len would itself sweep): the Put-time
+	// sweep must already have dropped the expired batch.
+	c.mu.Lock()
+	raw := len(c.entries)
+	c.mu.Unlock()
+	if raw != 100 {
+		t.Fatalf("map holds %d entries after Put-time sweep, want 100", raw)
+	}
+	if got := c.Len(); got != 100 {
+		t.Fatalf("Len() = %d after sweep, want 100 live entries", got)
+	}
+	if st := c.Get(sid(0), t1); st != nil {
+		t.Fatal("Get returned an expired entry")
+	}
+	if st := c.Get(sid(150), t1); st == nil {
+		t.Fatal("Get dropped a live entry")
+	}
+}
+
+func TestLenReportsLiveEntriesWithoutSweepTrigger(t *testing.T) {
+	c := NewCache(time.Hour)
+	t0 := time.Date(2016, time.March, 2, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 5; i++ {
+		c.Put(sid(i), &State{}, t0)
+	}
+	// Far fewer than sweepEvery puts, so no periodic sweep has run; Len
+	// must still count only entries Get would return at the latest time
+	// the cache has seen.
+	c.Put(sid(99), &State{}, t0.Add(2*time.Hour))
+	if got := c.Len(); got != 1 {
+		t.Fatalf("Len() = %d, want 1 live entry", got)
+	}
+}
+
+func TestZeroLifetimeNeverExpires(t *testing.T) {
+	c := NewCache(0)
+	t0 := time.Date(2016, time.March, 2, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 300; i++ {
+		c.Put(sid(i), &State{}, t0.Add(time.Duration(i)*time.Hour))
+	}
+	if got := c.Len(); got != 300 {
+		t.Fatalf("Len() = %d with zero lifetime, want 300", got)
+	}
+	if st := c.Get(sid(0), t0.Add(1000*time.Hour)); st == nil {
+		t.Fatal("zero-lifetime cache expired an entry")
+	}
+}
+
+func TestGetEvictsExpiredEntry(t *testing.T) {
+	c := NewCache(time.Hour)
+	t0 := time.Date(2016, time.March, 2, 0, 0, 0, 0, time.UTC)
+	c.Put(sid(1), &State{}, t0)
+	if st := c.Get(sid(1), t0.Add(30*time.Minute)); st == nil {
+		t.Fatal("entry expired too early")
+	}
+	if st := c.Get(sid(1), t0.Add(2*time.Hour)); st != nil {
+		t.Fatal("expired entry returned")
+	}
+	if got := c.Len(); got != 0 {
+		t.Fatalf("Len() = %d after expiry eviction, want 0", got)
+	}
+}

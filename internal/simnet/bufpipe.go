@@ -127,9 +127,16 @@ func (b *pipeBuf) closeWrite() {
 }
 
 // closeRead marks the reader side closed; subsequent peer writes fail.
+// Any armed deadline timer is stopped — once the scanner sets deadlines
+// on every connection, leaving timers ticking past Close would leak one
+// per campaign handshake.
 func (b *pipeBuf) closeRead() {
 	b.mu.Lock()
 	b.rGone = true
+	if b.rdTimer != nil {
+		b.rdTimer.Stop()
+		b.rdTimer = nil
+	}
 	b.cond.Broadcast()
 	b.mu.Unlock()
 }

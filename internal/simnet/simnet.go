@@ -6,13 +6,15 @@
 package simnet
 
 import (
-	"fmt"
+	"errors"
 	"hash/fnv"
+	"io"
 	"net"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"tlsshortcuts/internal/faults"
 	"tlsshortcuts/internal/perf"
 	"tlsshortcuts/internal/tlsserver"
 )
@@ -39,6 +41,7 @@ type Net struct {
 	domains map[string]*binding
 	byAS    map[int][]string
 	byIP    map[string][]string
+	plan    *faults.Plan
 	dials   atomic.Uint64
 }
 
@@ -82,40 +85,119 @@ func (n *Net) Domains() []string {
 	return out
 }
 
+// SetFaults installs (or, with nil, clears) the fault plan the dialer
+// consults on every connection. With a nil plan the dial path is
+// byte-identical to a fault-free network.
+func (n *Net) SetFaults(p *faults.Plan) {
+	n.mu.Lock()
+	n.plan = p
+	n.mu.Unlock()
+}
+
 // Dial opens a connection to the domain. The backend is chosen without
 // client affinity: successive dials may land on different terminators,
 // exactly the balancer behavior that frustrates naive run-length metrics.
 func (n *Net) Dial(domain string) (net.Conn, error) {
+	return n.dial(domain, "")
+}
+
+// DialProbe is Dial carrying the probe's identity label. Under an active
+// fault plan both the fault decision and the balancer choice key on
+// (domain, label) instead of the shared per-domain dial sequence, so a
+// campaign's faults replay identically for any worker count; with no plan
+// the label is ignored and the path matches Dial exactly.
+func (n *Net) DialProbe(domain, label string) (net.Conn, error) {
+	return n.dial(domain, label)
+}
+
+func (n *Net) dial(domain, label string) (net.Conn, error) {
 	n.mu.RLock()
 	b, ok := n.domains[domain]
+	plan := n.plan
 	n.mu.RUnlock()
 	if !ok || len(b.backends) == 0 {
-		return nil, fmt.Errorf("simnet: no route to %q", domain)
+		return nil, &faults.DialError{Domain: domain, Reason: "no route"}
 	}
 	n.dials.Add(1)
-	seq := b.dialSeq.Add(1)
-	h := fnv.New64a()
-	h.Write([]byte(domain))
-	var buf [8]byte
-	for i := 0; i < 8; i++ {
-		buf[i] = byte(seq >> (8 * i))
-	}
-	h.Write(buf[:])
-	// FNV's low bits alternate for consecutive sequence numbers; run the
-	// sum through a 64-bit finalizer so back-to-back dials pick
-	// independently.
-	ep := b.backends[mix64(h.Sum64())%uint64(len(b.backends))]
-	var cli, srv net.Conn
-	if perf.BufferedPipes() {
-		cli, srv = NewBufferedPipe()
+	var idx int
+	var seq uint64
+	if plan.Active() && label != "" {
+		idx = plan.Backend(domain, label, len(b.backends))
 	} else {
-		cli, srv = net.Pipe()
+		seq = b.dialSeq.Add(1)
+		h := fnv.New64a()
+		h.Write([]byte(domain))
+		var buf [8]byte
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(seq >> (8 * i))
+		}
+		h.Write(buf[:])
+		// FNV's low bits alternate for consecutive sequence numbers; run the
+		// sum through a 64-bit finalizer so back-to-back dials pick
+		// independently.
+		idx = int(mix64(h.Sum64()) % uint64(len(b.backends)))
 	}
+	ep := b.backends[idx]
+	if f := plan.Decide(domain, label, idx, seq); f.Kind != faults.None {
+		switch f.Kind {
+		case faults.Refuse:
+			return nil, &faults.DialError{Domain: domain, Reason: "connection refused"}
+		case faults.Flap:
+			return nil, &faults.DialError{Domain: domain, Reason: "backend down"}
+		case faults.Churn:
+			return nil, &faults.DialError{Domain: domain, Reason: "no such host"}
+		case faults.Stall:
+			cli, srv := n.pipe()
+			go func() {
+				// Swallow the client's bytes so its writes complete, but
+				// never answer: the client's read deadline must expire.
+				// Exits when the client closes its end.
+				_, _ = io.Copy(io.Discard, srv)
+				_ = srv.Close()
+			}()
+			return cli, nil
+		case faults.Reset:
+			cli, srv := n.pipe()
+			rc := &resetConn{Conn: srv, allow: f.AllowWrites}
+			go func() {
+				defer rc.Close()
+				_ = tlsserver.Serve(rc, ep.Config)
+			}()
+			return cli, nil
+		}
+	}
+	cli, srv := n.pipe()
 	go func() {
 		defer srv.Close()
 		_ = tlsserver.Serve(srv, ep.Config)
 	}()
 	return cli, nil
+}
+
+func (n *Net) pipe() (net.Conn, net.Conn) {
+	if perf.BufferedPipes() {
+		return NewBufferedPipe()
+	}
+	return net.Pipe()
+}
+
+var errReset = errors.New("simnet: connection reset by peer")
+
+// resetConn is the server side of a Reset-faulted connection: it lets a
+// bounded number of record writes through, then closes both directions so
+// the client sees the handshake cut off mid-flight.
+type resetConn struct {
+	net.Conn
+	allow int
+}
+
+func (c *resetConn) Write(p []byte) (int, error) {
+	if c.allow <= 0 {
+		_ = c.Conn.Close()
+		return 0, errReset
+	}
+	c.allow--
+	return c.Conn.Write(p)
 }
 
 // DialCount returns the number of connections opened so far — the

@@ -109,6 +109,7 @@ type Report struct {
 	trackers     map[string]*Tracker
 	ticketAccept map[string]time.Duration // measured acceptance tail
 	cacheLife    map[string]time.Duration // measured session-ID lifetime
+	core         []string                 // consistent core (see ConsistentCore)
 }
 
 // reportMemo caches the Report built for a Dataset pointer: analysis
@@ -155,6 +156,7 @@ func buildReport(ds *Dataset) *Report {
 		},
 		ticketAccept: make(map[string]time.Duration),
 		cacheLife:    make(map[string]time.Duration),
+		core:         consistentCore(ds),
 	}
 	for _, pr := range ds.TicketLifetime {
 		if pr.OK && pr.ResumedAt1s {
@@ -174,7 +176,7 @@ func buildReport(ds *Dataset) *Report {
 			r.cacheLife[pr.Domain] = d
 		}
 	}
-	for _, domain := range ds.TrustedCore {
+	for _, domain := range r.core {
 		n := 0
 		if span := r.Tracker("stek").MaxSpanDays(domain); span >= 0 || r.ticketAccept[domain] > 0 {
 			if span < 0 {
@@ -211,6 +213,29 @@ func buildReport(ds *Dataset) *Report {
 	r.Classification = vulnwindow.Classify(r.Exposures)
 	return r
 }
+
+// consistentCore filters the trusted core down to the domains whose daily
+// ticket scan succeeded on every campaign day — the paper's §3 denominator
+// discipline: longevity numbers are computed over domains observed every
+// scan day, not over whatever answered on a given day. On a fault-free
+// run MissedDays is empty and the consistent core IS the trusted core.
+func consistentCore(ds *Dataset) []string {
+	if len(ds.MissedDays) == 0 {
+		return ds.TrustedCore
+	}
+	out := make([]string, 0, len(ds.TrustedCore))
+	for _, d := range ds.TrustedCore {
+		if ds.MissedDays[d] == 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ConsistentCore returns the domains observed on every scan day — the
+// population every span table, exceedance figure, and exposure
+// classification is computed over.
+func (r *Report) ConsistentCore() []string { return r.core }
 
 // Tracker returns the named mechanism tracker ("stek", "dhe", "ecdhe").
 func (r *Report) Tracker(kind string) *Tracker {
@@ -257,10 +282,12 @@ type rankedRow struct {
 	rank   int
 }
 
-// topSpans lists domains by descending span (ties rank order).
+// topSpans lists domains by descending span (ties rank order), over the
+// consistent core — a domain missing scan days cannot be credited with a
+// continuous span.
 func (r *Report) topSpans(kind string, limit int) []rankedRow {
 	var rows []rankedRow
-	for _, d := range r.DS.TrustedCore {
+	for _, d := range r.core {
 		if span := r.Tracker(kind).MaxSpanDays(d); span >= 1 {
 			rows = append(rows, rankedRow{d, r.DS.Operators[d], span, r.DS.Ranks[d]})
 		}
@@ -326,6 +353,10 @@ func (r *Report) Table1() string {
 	fmt.Fprintf(b, "  DHE value repeat:    %d\n", ds.DHESnapshot.Reuse2x)
 	fmt.Fprintf(b, "  ECDHE support:       %d (%s of trusted)\n", ds.ECDHESnapshot.Support, pct(ds.ECDHESnapshot.Support, ds.ECDHESnapshot.Trusted))
 	fmt.Fprintf(b, "  ECDHE value repeat:  %d\n", ds.ECDHESnapshot.Reuse2x)
+	if pf := ds.TicketSnapshot.PairFailed + ds.DHESnapshot.PairFailed + ds.ECDHESnapshot.PairFailed; pf > 0 {
+		fmt.Fprintf(b, "  pairs excluded (2nd connection failed): ticket %d, dhe %d, ecdhe %d\n",
+			ds.TicketSnapshot.PairFailed, ds.DHESnapshot.PairFailed, ds.ECDHESnapshot.PairFailed)
+	}
 	return b.String()
 }
 
@@ -446,7 +477,7 @@ func (r *Report) Figure2() string {
 // Figure3 is the STEK lifetime exceedance curve.
 func (r *Report) Figure3() string {
 	b := &strings.Builder{}
-	pop := r.DS.TrustedCore
+	pop := r.core
 	tr := r.Tracker("stek")
 	fmt.Fprintf(b, "Figure 3: STEK observed lifetime over %d domains\n", len(pop))
 	for _, d := range []int{1, 7, 14, 30} {
@@ -459,7 +490,7 @@ func (r *Report) Figure3() string {
 // Figure4 is STEK lifetime by list-rank tier.
 func (r *Report) Figure4() string {
 	b := &strings.Builder{}
-	pop := r.DS.TrustedCore
+	pop := r.core
 	tr := r.Tracker("stek")
 	n := len(pop)
 	tiers := []struct {
@@ -486,7 +517,7 @@ func (r *Report) Figure4() string {
 // Figure5 is key-exchange value reuse exceedance.
 func (r *Report) Figure5() string {
 	b := &strings.Builder{}
-	pop := r.DS.TrustedCore
+	pop := r.core
 	fmt.Fprintf(b, "Figure 5: key-exchange value reuse over %d domains\n", len(pop))
 	for _, kind := range []string{"dhe", "ecdhe"} {
 		tr := r.Tracker(kind)
@@ -534,6 +565,44 @@ func (r *Report) Figure8() string {
 	return b.String()
 }
 
+// FailureTable renders the campaign's scan-failure taxonomy and the
+// consistent-core denominator — the §3 discipline of computing longevity
+// over domains observed on every scan day, made visible.
+func (r *Report) FailureTable() string {
+	b := &strings.Builder{}
+	ds := r.DS
+	fmt.Fprintln(b, "Scan robustness: failure taxonomy and consistent core")
+	fmt.Fprintf(b, "  consistent core: %d of %d trusted domains observed on all %d days (%s)\n",
+		len(r.core), len(ds.TrustedCore), ds.Days, pct(len(r.core), len(ds.TrustedCore)))
+	if fp := ds.FaultPlan; fp != nil {
+		fmt.Fprintf(b, "  fault plan: seed %d, refuse %.3f, reset %.3f, stall %.3f, flap %.3f, churn %.3f (<=%dd windows)\n",
+			fp.Seed, fp.Refuse, fp.Reset, fp.Stall, fp.Flap, fp.Churn, fp.ChurnMaxDays)
+	}
+	if len(ds.Failures) == 0 && ds.XDStats == nil {
+		fmt.Fprintln(b, "  no scan failures recorded")
+		return b.String()
+	}
+	// Daily first-connection scans have a well-defined attempt count, so
+	// those rows carry a rate; pair/lifetime rows are bare counts.
+	attempts := map[string]int{
+		"ticket": len(ds.Operators) * ds.Days,
+		"dhe":    len(ds.TrustedCore) * ds.Days,
+		"ecdhe":  len(ds.TrustedCore) * ds.Days,
+	}
+	for _, f := range ds.Failures {
+		if n := attempts[f.Scan]; n > 0 {
+			fmt.Fprintf(b, "  %-16s %-9s %6d (%s of %d probes)\n", f.Scan, f.Class, f.Count, pct(f.Count, n), n)
+		} else {
+			fmt.Fprintf(b, "  %-16s %-9s %6d\n", f.Scan, f.Class, f.Count)
+		}
+	}
+	if xd := ds.XDStats; xd != nil {
+		fmt.Fprintf(b, "  cross-domain: %d probed, %d sessioned, %d init failed, %d probe connections failed\n",
+			xd.Probed, xd.Sessioned, xd.InitFailed, xd.ProbeFailed)
+	}
+	return b.String()
+}
+
 // TLS13Outlook summarizes the §8.1 projection.
 func (r *Report) TLS13Outlook() string {
 	b := &strings.Builder{}
@@ -550,7 +619,7 @@ func (r *Report) TLS13Outlook() string {
 // String renders the full report in paper order.
 func (r *Report) String() string {
 	sections := []func() string{
-		r.Table1, r.Figure1, r.Figure2, r.Figure3, r.Figure4, r.Table2,
+		r.FailureTable, r.Table1, r.Figure1, r.Figure2, r.Figure3, r.Figure4, r.Table2,
 		r.Figure5, r.Table3, r.Table4, r.Table5, r.Table6, r.Table7,
 		r.Figure6, r.Figure7, r.Figure8, r.TLS13Outlook,
 	}

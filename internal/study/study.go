@@ -16,6 +16,7 @@ import (
 	"sort"
 	"time"
 
+	"tlsshortcuts/internal/faults"
 	"tlsshortcuts/internal/population"
 	"tlsshortcuts/internal/scanner"
 	"tlsshortcuts/internal/simclock"
@@ -29,6 +30,20 @@ type Options struct {
 	Seed     int64
 	Workers  int
 	Logf     func(format string, args ...interface{})
+
+	// Faults, when non-nil and non-zero, compiles a deterministic fault
+	// plan the simulated network consults on every dial, making the
+	// campaign run against a lossy network. The plan's Days and Base
+	// default to the campaign's.
+	Faults *faults.Options
+
+	// ProbeTimeout overrides the scanner's per-connection wall-clock
+	// deadline (0 = scanner default, negative disables).
+	ProbeTimeout time.Duration
+
+	// Retries overrides the scanner's transient-failure retry budget
+	// (0 = scanner default, negative disables).
+	Retries int
 }
 
 func (o *Options) logf(format string, args ...interface{}) {
@@ -43,6 +58,18 @@ type Snapshot struct {
 	Trusted int // with a browser-trusted chain
 	Support int // trusted and negotiated the mechanism
 	Reuse2x int // same server value on two immediate connections
+
+	// PairFailed counts supporting domains whose second (pair)
+	// connection failed: those pairs are excluded from reuse
+	// denominators rather than silently counted as "no reuse".
+	PairFailed int `json:",omitempty"`
+}
+
+// FailureCount is one (scan, class) cell of the campaign failure table.
+type FailureCount struct {
+	Scan  string // which probe: ticket, ticket-pair, dhe, dhe-pair, ecdhe, ecdhe-pair, lifetime-id, lifetime-ticket
+	Class string // faults.ErrClass of the final attempt
+	Count int
 }
 
 // Dataset is everything a campaign measured, JSON-serializable so
@@ -74,6 +101,25 @@ type Dataset struct {
 	STEKGroups  [][]string
 	DHGroups    [][]string
 	DHSingleton int // reused DH values confined to a single domain
+
+	// Lossy-network accounting. Every field below is empty on a
+	// fault-free run and omitted from JSON, so clean datasets stay
+	// byte-identical to pre-taxonomy ones (the golden hash proves it).
+
+	// FaultPlan records the injected fault options, when any.
+	FaultPlan *faults.Options `json:",omitempty"`
+	// Failures aggregates failed scan connections by (scan, class),
+	// sorted for stable serialization. Key-exchange first connections
+	// count only transient classes: a forced-suite alert from a server
+	// that does not speak the suite is a measurement, not a failure.
+	Failures []FailureCount `json:",omitempty"`
+	// MissedDays maps domain -> bitmask of virtual days on which its
+	// daily ticket scan failed. The consistent core — the paper's §3
+	// denominator — is the trusted core minus any domain with a bit set.
+	MissedDays map[string]uint64 `json:",omitempty"`
+	// XDStats records the cross-domain pass's denominators when any of
+	// its connections failed.
+	XDStats *scanner.XDStats `json:",omitempty"`
 
 	// Dials counts the TLS connections the campaign made. It is run
 	// telemetry for benchmarks, not a measurement, so it stays out of the
@@ -116,7 +162,9 @@ func Run(o Options) (*Dataset, error) {
 	start := clock.Now()
 	scan := &scanner.Scanner{
 		Dialer: world.Net, Roots: world.Roots, Clock: clock, Workers: o.Workers,
-		Seed: []byte(fmt.Sprintf("study|%d", o.Seed)),
+		Seed:    []byte(fmt.Sprintf("study|%d", o.Seed)),
+		Timeout: o.ProbeTimeout,
+		Retries: o.Retries,
 	}
 
 	core := world.TrustedCoreDomains()
@@ -138,12 +186,46 @@ func Run(o Options) (*Dataset, error) {
 		ds.Ranks[name] = d.Rank
 	}
 
+	if !o.Faults.Zero() {
+		fo := *o.Faults
+		if fo.Days <= 0 {
+			fo.Days = o.Days
+		}
+		if fo.Base.IsZero() {
+			fo.Base = start
+		}
+		if fo.ChurnMaxDays <= 0 {
+			fo.ChurnMaxDays = 3
+		}
+		world.Net.SetFaults(faults.NewPlan(fo, clock))
+		ds.FaultPlan = &fo
+		o.logf("fault plan active: refuse %.3f reset %.3f stall %.3f flap %.3f churn %.3f",
+			fo.Refuse, fo.Reset, fo.Stall, fo.Flap, fo.Churn)
+	}
+
+	type failKey struct {
+		scan  string
+		class faults.ErrClass
+	}
+	fails := make(map[failKey]int)
+	addFail := func(scan string, c faults.ErrClass) {
+		if c != faults.ClassNone {
+			fails[failKey{scan, c}]++
+		}
+	}
+
 	// Session-lifetime probes (Figures 1-2) run first, in lockstep
 	// virtual time from the campaign start.
 	o.logf("lifetime probes: session IDs (%d domains)", len(core))
 	ds.IDLifetime = scan.LifetimeProbe(core, false, 15*time.Minute, 30*time.Hour)
 	o.logf("lifetime probes: tickets")
 	ds.TicketLifetime = scan.LifetimeProbe(core, true, time.Hour, 36*time.Hour)
+	for _, pr := range ds.IDLifetime {
+		addFail("lifetime-id", pr.ErrClass)
+	}
+	for _, pr := range ds.TicketLifetime {
+		addFail("lifetime-ticket", pr.ErrClass)
+	}
 
 	// Daily scans.
 	for day := 0; day < o.Days; day++ {
@@ -157,26 +239,55 @@ func Run(o Options) (*Dataset, error) {
 			ds.ECDHESnapshot = kexSnapshot(eObs, wire.KexECDHE)
 		}
 		for _, ob := range tObs {
+			if ob.ErrClass != faults.ClassNone {
+				addFail("ticket", ob.ErrClass)
+				missDay(ds, ob.Domain, day)
+			}
+			addFail("ticket-pair", ob.ErrClass2)
 			if ob.OK && ob.Trusted && len(ob.STEKID) > 0 {
 				mark(ds.STEKSpans, ob.Domain, hex.EncodeToString(ob.STEKID), day)
 			}
 		}
 		for _, ob := range dObs {
+			if faults.Transient(ob.ErrClass) {
+				addFail("dhe", ob.ErrClass)
+			}
+			addFail("dhe-pair", ob.ErrClass2)
 			if ob.OK && ob.Kex == wire.KexDHE && len(ob.KEXValue) > 0 {
 				mark(ds.DHESpans, ob.Domain, valueID(ob.KEXValue), day)
 			}
 		}
 		for _, ob := range eObs {
+			if faults.Transient(ob.ErrClass) {
+				addFail("ecdhe", ob.ErrClass)
+			}
+			addFail("ecdhe-pair", ob.ErrClass2)
 			if ob.OK && ob.Kex == wire.KexECDHE && len(ob.KEXValue) > 0 {
 				mark(ds.ECDHESpans, ob.Domain, valueID(ob.KEXValue), day)
 			}
 		}
 		o.logf("day %d/%d scanned", day+1, o.Days)
 	}
+	if len(fails) > 0 {
+		for k, n := range fails {
+			ds.Failures = append(ds.Failures, FailureCount{Scan: k.scan, Class: string(k.class), Count: n})
+		}
+		sort.Slice(ds.Failures, func(i, j int) bool {
+			if ds.Failures[i].Scan != ds.Failures[j].Scan {
+				return ds.Failures[i].Scan < ds.Failures[j].Scan
+			}
+			return ds.Failures[i].Class < ds.Failures[j].Class
+		})
+	}
 
 	// Grouping passes (§5).
 	o.logf("cross-domain cache probes (budget 5+5)")
-	uf := scan.CrossDomainGroups(core, world.Net, 5, 5)
+	uf, xd := scan.CrossDomainGroups(core, world.Net, 5, 5)
+	if xd.InitFailed > 0 || xd.ProbeFailed > 0 {
+		ds.XDStats = &xd
+		o.logf("cross-domain: %d/%d sessioned, %d init + %d probe connections failed",
+			xd.Sessioned, xd.Probed, xd.InitFailed, xd.ProbeFailed)
+	}
 	ds.CacheGroups = multiSets(uf)
 	ds.STEKGroups = secretGroups(ds.STEKSpans)
 	ds.DHGroups, ds.DHSingleton = dhGroups(ds.DHESpans, ds.ECDHESpans)
@@ -210,6 +321,15 @@ func mark(spans map[string]map[string]uint64, domain, id string, day int) {
 	m[id] |= 1 << uint(day)
 }
 
+// missDay records that the domain's daily ticket scan failed on day —
+// the attendance record the consistent core is derived from.
+func missDay(ds *Dataset, domain string, day int) {
+	if ds.MissedDays == nil {
+		ds.MissedDays = make(map[string]uint64)
+	}
+	ds.MissedDays[domain] |= 1 << uint(day)
+}
+
 // valueID compresses a server key-exchange value to a short stable ID.
 func valueID(v []byte) string {
 	h := sha256.Sum256(v)
@@ -225,6 +345,12 @@ func ticketSnapshot(obs []scanner.Observation) Snapshot {
 		s.Trusted++
 		if ob.TicketIssued {
 			s.Support++
+			if ob.ErrClass2 != faults.ClassNone {
+				// The pair connection failed: the domain is excluded
+				// from the STEK-repeat denominator, not scored as
+				// "fresh key on every connection".
+				s.PairFailed++
+			}
 		}
 		if len(ob.STEKID) > 0 {
 			s.Reuse2x++
@@ -240,7 +366,9 @@ func kexSnapshot(obs []scanner.Observation, kex wire.Kex) Snapshot {
 			continue
 		}
 		s.Support++
-		if len(ob.KEXValue) > 0 && bytes.Equal(ob.KEXValue, ob.KEXValue2) {
+		if ob.ErrClass2 != faults.ClassNone {
+			s.PairFailed++
+		} else if len(ob.KEXValue) > 0 && bytes.Equal(ob.KEXValue, ob.KEXValue2) {
 			s.Reuse2x++
 		}
 	}

@@ -31,6 +31,19 @@ import (
 	"tlsshortcuts/internal/wire"
 )
 
+// AlertError is a fatal TLS alert received from the server, typed so the
+// scanner's failure taxonomy can classify it (via the AlertCode method)
+// without string matching.
+type AlertError struct {
+	Code uint8
+}
+
+// Error keeps the historical message format.
+func (e *AlertError) Error() string { return fmt.Sprintf("tls: server alert %d", e.Code) }
+
+// AlertCode returns the alert description byte.
+func (e *AlertError) AlertCode() uint8 { return e.Code }
+
 // Session is the client-side resumable state from a completed handshake.
 type Session struct {
 	ID     []byte
@@ -153,7 +166,7 @@ func (h *hsConn) readMsg() (*wire.Msg, bool, error) {
 			return nil, true, nil
 		case record.TypeAlert:
 			if len(rec.Payload) == 2 {
-				return nil, false, fmt.Errorf("tls: server alert %d", rec.Payload[1])
+				return nil, false, &AlertError{Code: rec.Payload[1]}
 			}
 			return nil, false, errors.New("tls: malformed server alert")
 		default:
