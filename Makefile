@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-faults race bench bench-campaign fmt
+.PHONY: build test test-faults test-telemetry race bench bench-campaign fmt
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,17 @@ test:
 test-faults:
 	$(GO) test -run 'Fault|Stall|Refus|Reset|Retry|Transient|Classify|Churn|Decide|Sweep|Len|Expire|NoRoute|Clearing|Golden' \
 		./internal/faults ./internal/simnet ./internal/scanner ./internal/session ./internal/study
+
+# Telemetry suite: registry/histogram correctness under -race, span
+# schema round-trip, dial/label collectors, report-rendering determinism,
+# and the tentpole proof — the golden 200x8 campaign re-run with
+# telemetry fully enabled must still match the committed hash, and a
+# faulted campaign's deterministic metrics must be identical across
+# worker counts.
+test-telemetry:
+	$(GO) test -race ./internal/telemetry
+	$(GO) test -run 'Telemetry|Span|ReportRendering' \
+		./internal/scanner ./internal/simnet ./internal/study
 
 race:
 	$(GO) test -race ./...

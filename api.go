@@ -15,6 +15,7 @@ import (
 	"tlsshortcuts/internal/scanner"
 	"tlsshortcuts/internal/simclock"
 	"tlsshortcuts/internal/study"
+	"tlsshortcuts/internal/telemetry"
 	"tlsshortcuts/internal/vulnwindow"
 )
 
@@ -34,6 +35,19 @@ type ErrClass = faults.ErrClass
 
 // ClassifyError maps one scan connection's error into the taxonomy.
 func ClassifyError(err error) ErrClass { return faults.Classify(err) }
+
+// Telemetry is the campaign instrumentation registry
+// (StudyOptions.Telemetry). Attaching one is proven not to change a
+// single dataset byte; its Snapshot carries counters, latency
+// histograms, and the wall/-vs-deterministic split.
+type Telemetry = telemetry.Registry
+
+// TelemetrySnapshot is a point-in-time copy of a Telemetry registry.
+type TelemetrySnapshot = telemetry.Snapshot
+
+// NewTelemetry returns an empty instrumentation registry to pass as
+// StudyOptions.Telemetry.
+func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
 
 // World is the simulated population.
 type World = population.World

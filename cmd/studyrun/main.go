@@ -5,19 +5,32 @@
 //
 //	studyrun -listsize 5000 -days 64 -seed 1 -out dataset.json
 //
+// Observability (all off by default; none of it perturbs the dataset):
+//
+//	studyrun -progress                       # live stderr ticker: day N/M, handshakes/s, failure rate
+//	studyrun -telemetry-out telemetry.json   # final metrics snapshot as JSON
+//	studyrun -trace trace.jsonl              # one JSONL span per scan phase
+//	studyrun -pprof 127.0.0.1:6060           # net/http/pprof + /debug/vars expvar export
+//
 // The dataset feeds cmd/report, which regenerates every table and figure.
 package main
 
 import (
+	"bufio"
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"time"
 
 	"tlsshortcuts/internal/faults"
 	"tlsshortcuts/internal/study"
+	"tlsshortcuts/internal/telemetry"
 )
 
 func main() {
@@ -39,6 +52,11 @@ func main() {
 		faultFlap    = flag.Float64("fault-flap", 0, "per-(backend,day) outage probability")
 		faultChurn   = flag.Float64("fault-churn", 0, "per-domain churn-window probability")
 		churnDays    = flag.Int("fault-churn-days", 3, "max churn window length in days")
+
+		telemetryOut = flag.String("telemetry-out", "", "write the final telemetry snapshot JSON to this path")
+		traceOut     = flag.String("trace", "", "write one JSONL telemetry span per scan phase to this path")
+		progress     = flag.Bool("progress", false, "live stderr ticker: day N/M, handshakes/s, failure rate")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. 127.0.0.1:6060)")
 	)
 	flag.Parse()
 
@@ -63,10 +81,46 @@ func main() {
 			ChurnMaxDays: *churnDays,
 		}
 	}
+
+	// Any observability flag turns the registry on; the campaign itself
+	// is provably unaffected either way (telemetry observes, never
+	// perturbs — see internal/telemetry and the inertness test).
+	var reg *telemetry.Registry
+	if *telemetryOut != "" || *traceOut != "" || *progress || *pprofAddr != "" {
+		reg = telemetry.NewRegistry()
+	}
+	var trace *bufio.Writer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("creating trace file: %v", err)
+		}
+		defer f.Close()
+		trace = bufio.NewWriter(f)
+		defer trace.Flush()
+	}
+	if *pprofAddr != "" {
+		// net/http/pprof and expvar register on the default mux; the
+		// registry snapshot is republished as the "telemetry" expvar, so
+		// /debug/vars carries live campaign counters.
+		expvar.Publish("telemetry", expvar.Func(func() interface{} { return reg.Snapshot() }))
+		go func() {
+			logf("pprof+expvar listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
+	var progressDone chan struct{}
+	if *progress {
+		progressDone = make(chan struct{})
+		go progressLoop(reg, *days, progressDone)
+	}
+
 	logf("building %d-domain world and running %d-day campaign (seed %d, %d workers)",
 		*listSize, *days, *seed, *workers)
 	start := time.Now()
-	ds, err := study.Run(study.Options{
+	opts := study.Options{
 		ListSize:     *listSize,
 		Days:         *days,
 		Seed:         *seed,
@@ -75,7 +129,16 @@ func main() {
 		Faults:       fo,
 		ProbeTimeout: *probeTimeout,
 		Retries:      *retries,
-	})
+		Telemetry:    reg,
+	}
+	if trace != nil {
+		opts.Trace = trace
+	}
+	ds, err := study.Run(opts)
+	if progressDone != nil {
+		progressDone <- struct{}{}
+		<-progressDone // closed once the ticker's final newline is out
+	}
 	if err != nil {
 		log.Fatalf("study failed: %v", err)
 	}
@@ -91,7 +154,53 @@ func main() {
 	if err := ds.Save(*out); err != nil {
 		log.Fatalf("saving dataset: %v", err)
 	}
+	if *telemetryOut != "" {
+		b, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+		if err != nil {
+			log.Fatalf("marshaling telemetry: %v", err)
+		}
+		if err := os.WriteFile(*telemetryOut, append(b, '\n'), 0o644); err != nil {
+			log.Fatalf("writing telemetry: %v", err)
+		}
+		logf("telemetry snapshot written to %s", *telemetryOut)
+	}
 	if *report {
 		fmt.Fprintln(os.Stdout, study.BuildReport(ds).String())
+		if reg != nil {
+			fmt.Fprintln(os.Stdout, study.TelemetrySection(reg.Snapshot()))
+		}
+	}
+}
+
+// progressLoop renders a once-per-second stderr ticker from registry
+// deltas: scan day, instantaneous handshake rate, cumulative failure
+// rate. It owns the final newline: the caller sends on done and waits
+// for the channel close before printing anything else.
+func progressLoop(reg *telemetry.Registry, days int, done chan struct{}) {
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	var lastStarted uint64
+	last := time.Now()
+	for {
+		select {
+		case <-done:
+			fmt.Fprintln(os.Stderr)
+			close(done)
+			return
+		case <-tick.C:
+			started := reg.Value(telemetry.CounterHandshakesStarted)
+			probes := reg.Value(telemetry.CounterProbes)
+			fails := reg.Value(telemetry.CounterProbeFailures)
+			day := reg.Value(telemetry.CounterDaysCompleted)
+			now := time.Now()
+			rate := float64(started-lastStarted) / now.Sub(last).Seconds()
+			lastStarted, last = started, now
+			failPct := 0.0
+			if probes > 0 {
+				failPct = 100 * float64(fails) / float64(probes)
+			}
+			fmt.Fprintf(os.Stderr, "\rday %d/%d  %8.0f handshakes/s  %5.2f%% probes failed",
+				day, days, rate, failPct)
+		}
 	}
 }

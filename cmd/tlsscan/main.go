@@ -28,6 +28,7 @@ import (
 	"tlsshortcuts/internal/pki"
 	"tlsshortcuts/internal/population"
 	"tlsshortcuts/internal/simclock"
+	"tlsshortcuts/internal/telemetry"
 	"tlsshortcuts/internal/tlsclient"
 	"tlsshortcuts/internal/wire"
 )
@@ -61,6 +62,7 @@ func main() {
 		resume   = flag.String("resume", "", "after the first handshake, resume via 'id' or 'ticket'")
 		timeout  = flag.Duration("timeout", 5*time.Second, "per-connection read/write deadline (0 disables)")
 		demo     = flag.Bool("demo", false, "run a self-contained scan self-check and exit")
+		verbose  = flag.Bool("v", false, "per-connection telemetry on stderr, plus a final metrics snapshot")
 	)
 	flag.Parse()
 
@@ -99,6 +101,16 @@ func main() {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 
+	// With -v the process registry is installed, so the simulated
+	// servers' session/ticket/keyex collectors report too; real -addr
+	// scans only see the client-side counters.
+	var reg *telemetry.Registry
+	if *verbose {
+		reg = telemetry.NewRegistry()
+		defer telemetry.SetGlobal(reg)()
+	}
+
+	failed := false
 	var firstSession *tlsclient.Session
 	for i := 0; i < *conns; i++ {
 		cfg := &tlsclient.Config{
@@ -112,10 +124,15 @@ func main() {
 			cfg.Resume = firstSession
 			cfg.ResumeViaTicket = *resume == "ticket"
 		}
+		connStart := time.Now()
 		conn, err := dial()
 		if err != nil {
 			out := scanOutput{Domain: serverName, Error: err.Error(), ErrClass: string(faults.ClassDial)}
 			_ = enc.Encode(out)
+			reg.Counter("tlsscan/errors/" + string(faults.ClassDial)).Inc()
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "conn %d/%d: dial failed in %v: %v\n", i+1, *conns, time.Since(connStart).Round(time.Microsecond), err)
+			}
 			os.Exit(1)
 		}
 		if *timeout > 0 {
@@ -123,13 +140,40 @@ func main() {
 		}
 		cap, err := tlsclient.Handshake(conn, cfg)
 		conn.Close()
+		elapsed := time.Since(connStart)
 		out := render(serverName, cap, err)
+		if err != nil {
+			// A failed handshake must fail the scan: exiting 0 here once
+			// made `tlsscan && ...` pipelines treat dead targets as scanned.
+			failed = true
+			reg.Counter("tlsscan/errors/" + out.ErrClass).Inc()
+		} else {
+			reg.Counter("tlsscan/handshakes_ok").Inc()
+		}
+		reg.Histogram("wall/tlsscan/handshake").Observe(elapsed)
+		if *verbose {
+			outcome := "ok"
+			if err != nil {
+				outcome = "FAILED class=" + out.ErrClass
+			} else if out.Resumed {
+				outcome = "ok resumed via " + out.ResumedVia
+			}
+			fmt.Fprintf(os.Stderr, "conn %d/%d: %s in %v (suite=%s kex=%s ticket=%v)\n",
+				i+1, *conns, outcome, elapsed.Round(time.Microsecond), out.CipherSuite, out.KexAlg, out.TicketIssued)
+		}
 		if err == nil && firstSession == nil {
 			firstSession = cap.Session
 		}
 		if err := enc.Encode(out); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if *verbose {
+		fmt.Fprintln(os.Stderr, "telemetry:")
+		fmt.Fprint(os.Stderr, reg.Snapshot().Render())
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 
 	"tlsshortcuts/internal/ffdh"
 	"tlsshortcuts/internal/perf"
+	"tlsshortcuts/internal/telemetry"
 )
 
 // ReuseMode says how a server treats its ephemeral KEX value.
@@ -118,6 +119,14 @@ func cachePut(k cacheKey, v *cacheVal) {
 	if len(cache) >= maxCacheEntries {
 		cache = map[cacheKey]*cacheVal{}
 	}
+	if _, ok := cache[k]; !ok {
+		// Fill count under the write lock with an existence check: two
+		// workers may both miss the same epoch concurrently, so counting
+		// misses would be racy — counting first inserts is not. Still
+		// wall/: the cache is package-global and persists across
+		// campaigns in one process, so fills depend on process history.
+		telemetry.Global().Counter("wall/keyex/cache_fill").Inc()
+	}
 	cache[k] = v
 	cacheMu.Unlock()
 }
@@ -154,6 +163,7 @@ func ECDHEKey(p *Policy, now time.Time, rand interface{ Read([]byte) (int, error
 // more than once per epoch. The returned slice must not be modified.
 func ECDHEKeyPub(p *Policy, now time.Time, rand interface{ Read([]byte) (int, error) }) (*ecdh.PrivateKey, []byte, error) {
 	if p == nil || p.Mode == Fresh {
+		telemetry.Global().Counter("keyex/fresh_keys").Inc()
 		// Draw explicit scalar bytes instead of ecdh.GenerateKey(rand):
 		// GenerateKey does not consume a caller-supplied reader
 		// deterministically, which would make fresh server values (and the
@@ -168,10 +178,12 @@ func ECDHEKeyPub(p *Policy, now time.Time, rand interface{ Read([]byte) (int, er
 		}
 		return k, k.PublicKey().Bytes(), nil
 	}
+	telemetry.Global().Counter("keyex/reuse_lookups").Inc()
 	e := p.epoch(now)
 	ck := p.key('E', e)
 	if perf.CryptoCaches() {
 		if v, ok := cacheGet(ck); ok {
+			telemetry.Global().Counter("wall/keyex/cache_hit").Inc()
 			return v.ecdheKey, v.ecdhePub, nil
 		}
 	}
@@ -204,6 +216,7 @@ func DHEPrivate(g *ffdh.Group, p *Policy, now time.Time, rand interface{ Read([]
 // The returned values must not be modified.
 func DHEKey(g *ffdh.Group, p *Policy, now time.Time, rand interface{ Read([]byte) (int, error) }) (*big.Int, []byte, error) {
 	if p == nil || p.Mode == Fresh {
+		telemetry.Global().Counter("keyex/fresh_keys").Inc()
 		seed, err := DHEPrivate(g, p, now, rand)
 		if err != nil {
 			return nil, nil, err
@@ -211,11 +224,13 @@ func DHEKey(g *ffdh.Group, p *Policy, now time.Time, rand interface{ Read([]byte
 		priv := g.PrivateFromSeed(seed)
 		return priv, g.Bytes(g.Public(priv)), nil
 	}
+	telemetry.Global().Counter("keyex/reuse_lookups").Inc()
 	e := p.epoch(now)
 	ck := p.key('D', e)
 	ck.group = g
 	if perf.CryptoCaches() {
 		if v, ok := cacheGet(ck); ok {
+			telemetry.Global().Counter("wall/keyex/cache_hit").Inc()
 			return v.dhePriv, v.dhePub, nil
 		}
 	}

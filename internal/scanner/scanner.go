@@ -22,6 +22,7 @@ import (
 	"tlsshortcuts/internal/perf"
 	"tlsshortcuts/internal/pki"
 	"tlsshortcuts/internal/simclock"
+	"tlsshortcuts/internal/telemetry"
 	"tlsshortcuts/internal/ticket"
 	"tlsshortcuts/internal/tlsclient"
 	"tlsshortcuts/internal/wire"
@@ -71,6 +72,12 @@ type Scanner struct {
 	// deterministic virtual-clock backoff. 0 means DefaultRetries;
 	// negative disables retries.
 	Retries int
+
+	// Telemetry, when non-nil, receives per-probe counters and latency
+	// histograms. Telemetry observes, never perturbs: a nil registry
+	// takes the pre-instrumentation code paths untouched, and an
+	// enabled one changes no probe behavior (see internal/telemetry).
+	Telemetry *telemetry.Registry
 }
 
 // Scan hardening defaults: generous wall-clock deadline (simnet
@@ -151,6 +158,14 @@ func (s *Scanner) forEach(n int, fn func(i int)) {
 // regardless of worker scheduling. The returned class is the LAST
 // attempt's failure classification (ClassNone on success).
 func (s *Scanner) connect(domain, label string, cfg *tlsclient.Config) (*tlsclient.Capture, faults.ErrClass, error) {
+	tel := s.Telemetry
+	var mlabel string
+	var start time.Time
+	if tel != nil {
+		mlabel = metricLabel(label)
+		tel.Counter(telemetry.CounterProbes).Inc()
+		start = time.Now()
+	}
 	callerRand := cfg.Rand
 	var wait time.Duration
 	for attempt := 0; ; attempt++ {
@@ -158,12 +173,52 @@ func (s *Scanner) connect(domain, label string, cfg *tlsclient.Config) (*tlsclie
 		if attempt > 0 {
 			alabel = fmt.Sprintf("%s|r%d", label, attempt)
 		}
+		if tel != nil {
+			tel.Counter(telemetry.CounterHandshakesStarted).Inc()
+		}
 		cap, class, err := s.connectOnce(domain, alabel, cfg, callerRand, wait)
 		if err == nil || attempt >= s.retries() || !faults.Transient(class) {
+			if tel != nil {
+				elapsed := time.Since(start)
+				tel.Counter(telemetry.CounterBusyNanos).Add(uint64(elapsed))
+				// Two latency views per probe family: real elapsed time
+				// (wall/, scheduling-dependent) and virtual time — the
+				// accumulated retry backoff the probe waited out on the
+				// virtual timeline, a deterministic function of the plan.
+				tel.Histogram("wall/scanner/latency/" + mlabel).Observe(elapsed)
+				tel.Histogram("scanner/vlatency/" + mlabel).Observe(wait)
+				if err != nil {
+					tel.Counter(telemetry.CounterProbeFailures).Inc()
+					tel.Counter("scanner/errors/" + string(class)).Inc()
+				} else {
+					tel.Counter(telemetry.CounterHandshakesCompleted).Inc()
+				}
+			}
 			return cap, class, err
+		}
+		if tel != nil {
+			tel.Counter(telemetry.CounterRetries).Inc()
+			tel.Counter("scanner/retries/" + string(class)).Inc()
 		}
 		wait += s.backoff(domain, label, attempt)
 	}
+}
+
+// metricLabel reduces a probe label to its first two |-separated
+// segments ("daily|ticket|3|1" → "daily|ticket", "lt|id|poll|7200" →
+// "lt|id") so per-family histograms stay bounded instead of growing one
+// series per scan day and poll step.
+func metricLabel(label string) string {
+	sep := 0
+	for i := 0; i < len(label); i++ {
+		if label[i] == '|' {
+			sep++
+			if sep == 2 {
+				return label[:i]
+			}
+		}
+	}
+	return label
 }
 
 // connectOnce opens a single connection attempt. wait is the accumulated

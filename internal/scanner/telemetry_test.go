@@ -1,0 +1,22 @@
+package scanner
+
+import "testing"
+
+// TestTelemetryMetricLabel pins the histogram-family reduction: per-day
+// and per-poll-step segments must fold away so series stay bounded.
+func TestTelemetryMetricLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"daily|ticket|3|1", "daily|ticket"},
+		{"daily|kex0033|17|2", "daily|kex0033"},
+		{"lt|id|poll|7200", "lt|id"},
+		{"lt|ticket|init", "lt|ticket"},
+		{"xd|init", "xd|init"},
+		{"xd|probe|example.com", "xd|probe"},
+		{"bare", "bare"},
+	}
+	for _, c := range cases {
+		if got := metricLabel(c.in); got != c.want {
+			t.Errorf("metricLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"tlsshortcuts/internal/telemetry"
 )
 
 // State is the resumable session state. Its serialization is the RFC 5077
@@ -89,6 +91,7 @@ func (c *Cache) Put(id []byte, st *State, now time.Time) {
 	c.entries[string(id)] = entry{st: st, created: now}
 	c.lastNow = now
 	c.puts++
+	telemetry.Global().Counter("session/cache_put").Inc()
 	if c.Lifetime > 0 && c.puts%sweepEvery == 0 {
 		c.sweepLocked(now)
 	}
@@ -102,22 +105,36 @@ func (c *Cache) Get(id []byte, now time.Time) *State {
 	c.lastNow = now
 	e, ok := c.entries[string(id)]
 	if !ok {
+		// "stale" covers both never-stored and already-evicted lookups:
+		// whether an expired entry was swept or is caught here depends on
+		// sweep timing, so only the combined count is deterministic.
+		telemetry.Global().Counter("session/cache_stale").Inc()
 		return nil
 	}
 	if c.Lifetime > 0 && now.Sub(e.created) > c.Lifetime {
 		delete(c.entries, string(id))
+		tel := telemetry.Global()
+		tel.Counter("session/cache_stale").Inc()
+		tel.Counter("wall/session/cache_expired_get").Inc()
 		return nil
 	}
+	telemetry.Global().Counter("session/cache_hit").Inc()
 	return e.st
 }
 
 // sweepLocked drops every entry that Get would refuse at time now.
 // Callers hold c.mu.
 func (c *Cache) sweepLocked(now time.Time) {
+	swept := uint64(0)
 	for k, e := range c.entries {
 		if now.Sub(e.created) > c.Lifetime {
 			delete(c.entries, k)
+			swept++
 		}
+	}
+	if swept > 0 {
+		// Sweep timing depends on Put interleaving, hence wall/.
+		telemetry.Global().Counter("wall/session/cache_swept").Add(swept)
 	}
 }
 

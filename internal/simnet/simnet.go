@@ -11,11 +11,13 @@ import (
 	"io"
 	"net"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"tlsshortcuts/internal/faults"
 	"tlsshortcuts/internal/perf"
+	"tlsshortcuts/internal/telemetry"
 	"tlsshortcuts/internal/tlsserver"
 )
 
@@ -43,6 +45,7 @@ type Net struct {
 	byIP    map[string][]string
 	plan    *faults.Plan
 	dials   atomic.Uint64
+	tel     *telemetry.Registry
 }
 
 // New returns an empty network.
@@ -94,6 +97,16 @@ func (n *Net) SetFaults(p *faults.Plan) {
 	n.mu.Unlock()
 }
 
+// SetTelemetry installs (or, with nil, clears) the metrics registry the
+// dialer reports dials, fault injections, and backend choices through.
+// Telemetry observes, never perturbs: the registry changes no dial
+// outcome, and nil restores the pre-instrumentation path.
+func (n *Net) SetTelemetry(r *telemetry.Registry) {
+	n.mu.Lock()
+	n.tel = r
+	n.mu.Unlock()
+}
+
 // Dial opens a connection to the domain. The backend is chosen without
 // client affinity: successive dials may land on different terminators,
 // exactly the balancer behavior that frustrates naive run-length metrics.
@@ -114,11 +127,18 @@ func (n *Net) dial(domain, label string) (net.Conn, error) {
 	n.mu.RLock()
 	b, ok := n.domains[domain]
 	plan := n.plan
+	tel := n.tel
 	n.mu.RUnlock()
 	if !ok || len(b.backends) == 0 {
+		if tel != nil {
+			tel.Counter("simnet/dial_errors").Inc()
+		}
 		return nil, &faults.DialError{Domain: domain, Reason: "no route"}
 	}
 	n.dials.Add(1)
+	if tel != nil {
+		tel.Counter("simnet/dials").Inc()
+	}
 	var idx int
 	var seq uint64
 	if plan.Active() && label != "" {
@@ -138,7 +158,16 @@ func (n *Net) dial(domain, label string) (net.Conn, error) {
 		idx = int(mix64(h.Sum64()) % uint64(len(b.backends)))
 	}
 	ep := b.backends[idx]
+	if tel != nil {
+		// The backend multiset per domain is worker-count-invariant (the
+		// per-domain dial sequence or, under a plan, the probe label keys
+		// the choice), so these counters are deterministic metrics.
+		tel.Counter("simnet/backend/" + strconv.Itoa(idx)).Inc()
+	}
 	if f := plan.Decide(domain, label, idx, seq); f.Kind != faults.None {
+		if tel != nil {
+			tel.Counter("simnet/faults/" + f.Kind.String()).Inc()
+		}
 		switch f.Kind {
 		case faults.Refuse:
 			return nil, &faults.DialError{Domain: domain, Reason: "connection refused"}

@@ -1,0 +1,63 @@
+package simnet
+
+import (
+	"testing"
+
+	"tlsshortcuts/internal/faults"
+	"tlsshortcuts/internal/simclock"
+	"tlsshortcuts/internal/telemetry"
+)
+
+// TestTelemetryDialCounters: an installed registry must see every dial,
+// the chosen backend index, no-route errors, and injected fault kinds —
+// and dial outcomes must not change because a registry is watching.
+func TestTelemetryDialCounters(t *testing.T) {
+	n := faultNet()
+	reg := telemetry.NewRegistry()
+	n.SetTelemetry(reg)
+
+	c, err := n.Dial("a.example")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	c.Close()
+	if got := reg.Value("simnet/dials"); got != 1 {
+		t.Fatalf("simnet/dials = %d, want 1", got)
+	}
+	if got := reg.Value("simnet/backend/0"); got != 1 {
+		t.Fatalf("simnet/backend/0 = %d, want 1", got)
+	}
+
+	if _, err := n.Dial("nonexistent.example"); err == nil {
+		t.Fatal("dial to an unregistered domain succeeded")
+	}
+	if got := reg.Value("simnet/dial_errors"); got != 1 {
+		t.Fatalf("simnet/dial_errors = %d, want 1", got)
+	}
+
+	clock := simclock.NewManual(simclock.Epoch)
+	n.SetFaults(faults.NewPlan(faults.Options{Seed: 1, Refuse: 1}, clock))
+	if _, err := n.DialProbe("a.example", "probe"); err == nil {
+		t.Fatal("Refuse=1 plan let a dial through")
+	}
+	if got := reg.Value("simnet/faults/refuse"); got != 1 {
+		t.Fatalf("simnet/faults/refuse = %d, want 1", got)
+	}
+	// A refused dial is still a dial: it routes, picks a backend, and
+	// only then hits the fault decision.
+	if got := reg.Value("simnet/dials"); got != 2 {
+		t.Fatalf("simnet/dials after refused dial = %d, want 2", got)
+	}
+
+	// Clearing the registry restores the uninstrumented path.
+	n.SetTelemetry(nil)
+	n.SetFaults(nil)
+	c, err = n.Dial("a.example")
+	if err != nil {
+		t.Fatalf("dial after clearing telemetry: %v", err)
+	}
+	c.Close()
+	if got := reg.Value("simnet/dials"); got != 2 {
+		t.Fatalf("cleared registry still counted: dials = %d", got)
+	}
+}

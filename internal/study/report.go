@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"tlsshortcuts/internal/perf"
+	"tlsshortcuts/internal/telemetry"
 	"tlsshortcuts/internal/vulnwindow"
 )
 
@@ -589,17 +590,41 @@ func (r *Report) FailureTable() string {
 		"dhe":    len(ds.TrustedCore) * ds.Days,
 		"ecdhe":  len(ds.TrustedCore) * ds.Days,
 	}
+	// Column widths derive from the rows (not fixed guesses), so every
+	// row stays aligned however long the scan and class names grow.
+	wScan, wClass := 0, 0
+	for _, f := range ds.Failures {
+		if len(f.Scan) > wScan {
+			wScan = len(f.Scan)
+		}
+		if len(f.Class) > wClass {
+			wClass = len(f.Class)
+		}
+	}
 	for _, f := range ds.Failures {
 		if n := attempts[f.Scan]; n > 0 {
-			fmt.Fprintf(b, "  %-16s %-9s %6d (%s of %d probes)\n", f.Scan, f.Class, f.Count, pct(f.Count, n), n)
+			fmt.Fprintf(b, "  %-*s %-*s %6d (%s of %d probes)\n", wScan, f.Scan, wClass, f.Class, f.Count, pct(f.Count, n), n)
 		} else {
-			fmt.Fprintf(b, "  %-16s %-9s %6d\n", f.Scan, f.Class, f.Count)
+			fmt.Fprintf(b, "  %-*s %-*s %6d\n", wScan, f.Scan, wClass, f.Class, f.Count)
 		}
 	}
 	if xd := ds.XDStats; xd != nil {
 		fmt.Fprintf(b, "  cross-domain: %d probed, %d sessioned, %d init failed, %d probe connections failed\n",
 			xd.Probed, xd.Sessioned, xd.InitFailed, xd.ProbeFailed)
 	}
+	return b.String()
+}
+
+// TelemetrySection renders a campaign telemetry snapshot for the end of
+// the report: sorted keys, aligned columns, deterministic output for a
+// given snapshot regardless of map iteration order. It is a package
+// function rather than a Report method because telemetry is run
+// instrumentation, not a measurement — it lives beside the Dataset, in
+// a telemetry.Registry, never inside it.
+func TelemetrySection(s *telemetry.Snapshot) string {
+	b := &strings.Builder{}
+	fmt.Fprintln(b, "Campaign telemetry (run instrumentation, not a measurement)")
+	b.WriteString(s.Render())
 	return b.String()
 }
 

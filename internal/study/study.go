@@ -11,6 +11,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/bits"
 	"os"
 	"sort"
@@ -20,6 +21,7 @@ import (
 	"tlsshortcuts/internal/population"
 	"tlsshortcuts/internal/scanner"
 	"tlsshortcuts/internal/simclock"
+	"tlsshortcuts/internal/telemetry"
 	"tlsshortcuts/internal/wire"
 )
 
@@ -44,6 +46,21 @@ type Options struct {
 	// Retries overrides the scanner's transient-failure retry budget
 	// (0 = scanner default, negative disables).
 	Retries int
+
+	// Telemetry, when non-nil, collects the campaign's metrics: scanner
+	// probe counters and latency histograms, simnet dial/fault/backend
+	// counts, and — via the process-global registry installed for the
+	// run's duration — the session/ticket/keyex collectors. Telemetry
+	// observes, never perturbs: nil leaves every code path untouched,
+	// and an enabled registry reproduces the same golden dataset hash
+	// (TestTelemetryObservationallyInert pins both).
+	Telemetry *telemetry.Registry
+
+	// Trace, when non-nil, receives one JSONL telemetry.Span line per
+	// scan phase (each lifetime pass, each scan day, the cross-domain
+	// pass). Tracing without a Telemetry registry uses a private one
+	// for span accounting; write errors are logged, never fatal.
+	Trace io.Writer
 }
 
 func (o *Options) logf(format string, args ...interface{}) {
@@ -154,6 +171,17 @@ func Run(o Options) (*Dataset, error) {
 	if o.Days < 1 || o.Days > 64 {
 		return nil, fmt.Errorf("study: Days must be in [1,64], got %d", o.Days)
 	}
+	// The session/ticket/keyex collectors report through the process
+	// global (they have no per-campaign injection point), so install the
+	// campaign's registry for the run's duration. A trace without a
+	// registry still needs one for span accounting — a private one, not
+	// installed globally.
+	reg := o.Telemetry
+	if reg != nil {
+		defer telemetry.SetGlobal(reg)()
+	} else if o.Trace != nil {
+		reg = telemetry.NewRegistry()
+	}
 	world, err := population.Build(population.Options{ListSize: o.ListSize, Seed: o.Seed})
 	if err != nil {
 		return nil, err
@@ -162,10 +190,15 @@ func Run(o Options) (*Dataset, error) {
 	start := clock.Now()
 	scan := &scanner.Scanner{
 		Dialer: world.Net, Roots: world.Roots, Clock: clock, Workers: o.Workers,
-		Seed:    []byte(fmt.Sprintf("study|%d", o.Seed)),
-		Timeout: o.ProbeTimeout,
-		Retries: o.Retries,
+		Seed:      []byte(fmt.Sprintf("study|%d", o.Seed)),
+		Timeout:   o.ProbeTimeout,
+		Retries:   o.Retries,
+		Telemetry: reg,
 	}
+	if reg != nil {
+		world.Net.SetTelemetry(reg)
+	}
+	sp := newSpanner(o, reg, clock)
 
 	core := world.TrustedCoreDomains()
 	all := allByRank(world)
@@ -217,9 +250,13 @@ func Run(o Options) (*Dataset, error) {
 	// Session-lifetime probes (Figures 1-2) run first, in lockstep
 	// virtual time from the campaign start.
 	o.logf("lifetime probes: session IDs (%d domains)", len(core))
+	sp.begin()
 	ds.IDLifetime = scan.LifetimeProbe(core, false, 15*time.Minute, 30*time.Hour)
+	sp.end("lifetime-id", -1, len(core), probeFails(ds.IDLifetime), 0)
 	o.logf("lifetime probes: tickets")
+	sp.begin()
 	ds.TicketLifetime = scan.LifetimeProbe(core, true, time.Hour, 36*time.Hour)
+	sp.end("lifetime-ticket", -1, len(core), probeFails(ds.TicketLifetime), 0)
 	for _, pr := range ds.IDLifetime {
 		addFail("lifetime-id", pr.ErrClass)
 	}
@@ -230,6 +267,8 @@ func Run(o Options) (*Dataset, error) {
 	// Daily scans.
 	for day := 0; day < o.Days; day++ {
 		clock.Set(start.Add(time.Duration(day) * 24 * time.Hour))
+		sp.begin()
+		dayFails, pairFails := 0, 0
 		tObs := scan.Daily(all, day, nil, true)
 		dObs := scan.Daily(core, day, []uint16{wire.SuiteDHE}, false)
 		eObs := scan.Daily(core, day, []uint16{wire.SuiteECDHE}, false)
@@ -242,8 +281,12 @@ func Run(o Options) (*Dataset, error) {
 			if ob.ErrClass != faults.ClassNone {
 				addFail("ticket", ob.ErrClass)
 				missDay(ds, ob.Domain, day)
+				dayFails++
 			}
 			addFail("ticket-pair", ob.ErrClass2)
+			if ob.ErrClass2 != faults.ClassNone {
+				pairFails++
+			}
 			if ob.OK && ob.Trusted && len(ob.STEKID) > 0 {
 				mark(ds.STEKSpans, ob.Domain, hex.EncodeToString(ob.STEKID), day)
 			}
@@ -251,8 +294,12 @@ func Run(o Options) (*Dataset, error) {
 		for _, ob := range dObs {
 			if faults.Transient(ob.ErrClass) {
 				addFail("dhe", ob.ErrClass)
+				dayFails++
 			}
 			addFail("dhe-pair", ob.ErrClass2)
+			if ob.ErrClass2 != faults.ClassNone {
+				pairFails++
+			}
 			if ob.OK && ob.Kex == wire.KexDHE && len(ob.KEXValue) > 0 {
 				mark(ds.DHESpans, ob.Domain, valueID(ob.KEXValue), day)
 			}
@@ -260,12 +307,18 @@ func Run(o Options) (*Dataset, error) {
 		for _, ob := range eObs {
 			if faults.Transient(ob.ErrClass) {
 				addFail("ecdhe", ob.ErrClass)
+				dayFails++
 			}
 			addFail("ecdhe-pair", ob.ErrClass2)
+			if ob.ErrClass2 != faults.ClassNone {
+				pairFails++
+			}
 			if ob.OK && ob.Kex == wire.KexECDHE && len(ob.KEXValue) > 0 {
 				mark(ds.ECDHESpans, ob.Domain, valueID(ob.KEXValue), day)
 			}
 		}
+		reg.Counter(telemetry.CounterDaysCompleted).Inc()
+		sp.end("day", day, len(all), dayFails, pairFails)
 		o.logf("day %d/%d scanned", day+1, o.Days)
 	}
 	if len(fails) > 0 {
@@ -282,7 +335,9 @@ func Run(o Options) (*Dataset, error) {
 
 	// Grouping passes (§5).
 	o.logf("cross-domain cache probes (budget 5+5)")
+	sp.begin()
 	uf, xd := scan.CrossDomainGroups(core, world.Net, 5, 5)
+	sp.end("cross-domain", -1, len(core), xd.InitFailed, xd.ProbeFailed)
 	if xd.InitFailed > 0 || xd.ProbeFailed > 0 {
 		ds.XDStats = &xd
 		o.logf("cross-domain: %d/%d sessioned, %d init + %d probe connections failed",
@@ -293,6 +348,87 @@ func Run(o Options) (*Dataset, error) {
 	ds.DHGroups, ds.DHSingleton = dhGroups(ds.DHESpans, ds.ECDHESpans)
 	ds.Dials = world.Net.DialCount()
 	return ds, nil
+}
+
+// spanner emits one telemetry.Span JSONL line per scan phase, deriving
+// per-phase handshake and retry counts from registry deltas. A nil
+// *spanner no-ops, so Run calls begin/end unconditionally.
+type spanner struct {
+	w       io.Writer
+	reg     *telemetry.Registry
+	workers int
+	days    int
+	clock   simclock.Clock
+	logf    func(format string, args ...interface{})
+
+	start      time.Time // wall clock at phase start
+	handshakes uint64
+	retries    uint64
+	busy       uint64
+}
+
+// newSpanner returns nil — telemetry off — unless a trace is requested.
+func newSpanner(o Options, reg *telemetry.Registry, clock simclock.Clock) *spanner {
+	if o.Trace == nil {
+		return nil
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = 8 // scanner's pool default
+	}
+	return &spanner{w: o.Trace, reg: reg, workers: workers, days: o.Days, clock: clock, logf: o.Logf}
+}
+
+// begin snapshots the counters the next end() will diff against.
+func (sp *spanner) begin() {
+	if sp == nil {
+		return
+	}
+	sp.start = time.Now()
+	sp.handshakes = sp.reg.Value(telemetry.CounterHandshakesStarted)
+	sp.retries = sp.reg.Value(telemetry.CounterRetries)
+	sp.busy = sp.reg.Value(telemetry.CounterBusyNanos)
+}
+
+// end writes the phase's span. Trace write errors are logged and
+// swallowed: telemetry must never fail a campaign.
+func (sp *spanner) end(phase string, day, domains, failures, pairFails int) {
+	if sp == nil {
+		return
+	}
+	wall := time.Since(sp.start)
+	span := telemetry.Span{
+		Phase:        phase,
+		Day:          day,
+		Days:         sp.days,
+		VirtualDate:  sp.clock.Now().UTC().Format(time.RFC3339),
+		Domains:      domains,
+		Failures:     failures,
+		PairFailures: pairFails,
+		Handshakes:   sp.reg.Value(telemetry.CounterHandshakesStarted) - sp.handshakes,
+		Retries:      sp.reg.Value(telemetry.CounterRetries) - sp.retries,
+		WallNanos:    int64(wall),
+		Workers:      sp.workers,
+	}
+	if wall > 0 {
+		busy := sp.reg.Value(telemetry.CounterBusyNanos) - sp.busy
+		span.Utilization = float64(busy) / (float64(wall) * float64(sp.workers))
+	}
+	if err := span.Encode(sp.w); err != nil && sp.logf != nil {
+		sp.logf("telemetry: trace write failed: %v", err)
+	}
+}
+
+// probeFails counts lifetime probes whose initial handshake failed for a
+// network reason.
+func probeFails(prs []scanner.ProbeResult) int {
+	n := 0
+	for _, pr := range prs {
+		if pr.ErrClass != faults.ClassNone {
+			n++
+		}
+	}
+	return n
 }
 
 func allByRank(w *population.World) []string {

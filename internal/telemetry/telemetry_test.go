@@ -1,0 +1,249 @@
+package telemetry
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilReceiversAreInert pins the package contract: every instrument
+// handed out by a nil registry — and the registry itself — must be a
+// safe no-op, so call sites never need their own nil checks.
+func TestNilReceiversAreInert(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Counter("x").Add(7)
+	r.Histogram("y").Observe(time.Second)
+	if got := r.Value("x"); got != 0 {
+		t.Fatalf("nil registry Value = %d, want 0", got)
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+	var c *Counter
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatal("nil counter holds a value")
+	}
+	var h *Histogram
+	h.Observe(time.Minute)
+	var snap *Snapshot
+	if d := snap.Deterministic(); len(d.Counters) != 0 {
+		t.Fatal("nil snapshot Deterministic not empty")
+	}
+	if out := snap.Render(); !strings.Contains(out, "no telemetry") {
+		t.Fatalf("nil snapshot Render = %q", out)
+	}
+}
+
+// TestConcurrentCountersAndHistograms exercises the atomic paths from
+// many goroutines; run under -race this is the data-race proof, and the
+// final totals prove no increment is lost.
+func TestConcurrentCountersAndHistograms(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Counter("shared").Inc()
+				r.Counter("shared").Add(2)
+				r.Histogram("lat").Observe(time.Duration(i%97) * time.Millisecond)
+				// Mixed create-and-write on distinct names stresses the
+				// registry's read/write lock upgrade path.
+				r.Counter("per/" + string(rune('a'+g))).Inc()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got, want := r.Value("shared"), uint64(goroutines*perG*3); got != want {
+		t.Fatalf("shared counter = %d, want %d", got, want)
+	}
+	s := r.Snapshot()
+	h := s.Histograms["lat"]
+	if got, want := h.Count, uint64(goroutines*perG); got != want {
+		t.Fatalf("histogram count = %d, want %d", got, want)
+	}
+	var bucketSum uint64
+	for _, b := range h.Buckets {
+		bucketSum += b.N
+	}
+	if bucketSum != h.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, h.Count)
+	}
+	if h.Max != 96*time.Millisecond {
+		t.Fatalf("histogram max = %v, want 96ms", h.Max)
+	}
+}
+
+// TestSnapshotImmutability: a snapshot is a deep copy — registry writes
+// after the snapshot must never show up in it.
+func TestSnapshotImmutability(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(5)
+	r.Histogram("h").Observe(10 * time.Millisecond)
+	snap := r.Snapshot()
+
+	r.Counter("c").Add(100)
+	r.Counter("new").Inc()
+	r.Histogram("h").Observe(time.Hour)
+	r.Histogram("h2").Observe(time.Second)
+
+	if got := snap.Counters["c"]; got != 5 {
+		t.Fatalf("snapshot counter mutated: %d", got)
+	}
+	if _, ok := snap.Counters["new"]; ok {
+		t.Fatal("counter created after snapshot leaked in")
+	}
+	h := snap.Histograms["h"]
+	if h.Count != 1 || h.Max != 10*time.Millisecond {
+		t.Fatalf("snapshot histogram mutated: %+v", h)
+	}
+	if _, ok := snap.Histograms["h2"]; ok {
+		t.Fatal("histogram created after snapshot leaked in")
+	}
+}
+
+// TestDeterministicFiltersWallPrefix: the wall/ subtree — and only the
+// wall/ subtree — is dropped for cross-worker-count comparisons.
+func TestDeterministicFiltersWallPrefix(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("scanner/probes").Add(10)
+	r.Counter("wall/scanner/busy_ns").Add(12345)
+	r.Histogram("scanner/vlatency/daily|ticket").Observe(time.Second)
+	r.Histogram("wall/scanner/latency/daily|ticket").Observe(time.Millisecond)
+
+	d := r.Snapshot().Deterministic()
+	if _, ok := d.Counters["wall/scanner/busy_ns"]; ok {
+		t.Fatal("wall/ counter survived Deterministic")
+	}
+	if _, ok := d.Histograms["wall/scanner/latency/daily|ticket"]; ok {
+		t.Fatal("wall/ histogram survived Deterministic")
+	}
+	if d.Counters["scanner/probes"] != 10 {
+		t.Fatal("deterministic counter dropped")
+	}
+	if d.Histograms["scanner/vlatency/daily|ticket"].Count != 1 {
+		t.Fatal("deterministic histogram dropped")
+	}
+}
+
+// TestSpanJSONLRoundTrip pins the span schema: Encode then DecodeSpans
+// must reproduce the records field for field.
+func TestSpanJSONLRoundTrip(t *testing.T) {
+	in := []Span{
+		{Phase: "lifetime-id", Day: -1, Days: 8, VirtualDate: "2016-01-01T00:00:00Z",
+			Domains: 150, Failures: 2, Handshakes: 300, Retries: 4,
+			WallNanos: 1234567, Workers: 8, Utilization: 0.71},
+		{Phase: "day", Day: 3, Days: 8, VirtualDate: "2016-01-04T00:00:00Z",
+			Domains: 200, Failures: 1, PairFailures: 2, Handshakes: 520,
+			Retries: 9, WallNanos: 987654, Workers: 8, Utilization: 0.93},
+		{Phase: "cross-domain", Day: -1, Days: 8, Domains: 150, Handshakes: 900},
+	}
+	var buf bytes.Buffer
+	for i := range in {
+		if err := in[i].Encode(&buf); err != nil {
+			t.Fatalf("encode span %d: %v", i, err)
+		}
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(in) {
+		t.Fatalf("expected %d JSONL lines, got %d", len(in), lines)
+	}
+	out, err := DecodeSpans(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", in, out)
+	}
+}
+
+// TestHistogramQuantiles sanity-checks the bucket-upper-bound estimate.
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q")
+	for i := 0; i < 99; i++ {
+		h.Observe(2 * time.Microsecond) // bucket le=4µs
+	}
+	h.Observe(10 * time.Second) // far tail
+	s := r.Snapshot().Histograms["q"]
+	if got := s.Quantile(0.50); got != 4*time.Microsecond {
+		t.Fatalf("p50 = %v, want 4µs", got)
+	}
+	if got := s.Quantile(1.0); got < 10*time.Second {
+		t.Fatalf("p100 = %v, want >= 10s", got)
+	}
+	if s.Mean() <= 2*time.Microsecond {
+		t.Fatalf("mean = %v, want > 2µs", s.Mean())
+	}
+}
+
+// TestMergeHistograms: merging a prefixed family must sum counts and
+// buckets and keep the overflow bucket ordered last.
+func TestMergeHistograms(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("wall/lat/a").Observe(time.Millisecond)
+	r.Histogram("wall/lat/a").Observe(100 * time.Hour) // overflow bucket
+	r.Histogram("wall/lat/b").Observe(2 * time.Millisecond)
+	r.Histogram("other").Observe(time.Second)
+
+	m := r.Snapshot().MergeHistograms("wall/lat/")
+	if m.Count != 3 {
+		t.Fatalf("merged count = %d, want 3", m.Count)
+	}
+	if m.Max != 100*time.Hour {
+		t.Fatalf("merged max = %v", m.Max)
+	}
+	if last := m.Buckets[len(m.Buckets)-1]; last.LE != -1 {
+		t.Fatalf("overflow bucket not last: %+v", m.Buckets)
+	}
+}
+
+// TestGlobalInstallRestore: SetGlobal must swap the process registry
+// and hand back an exact restore.
+func TestGlobalInstallRestore(t *testing.T) {
+	orig := Global()
+	r := NewRegistry()
+	restore := SetGlobal(r)
+	if Global() != r {
+		t.Fatal("SetGlobal did not install")
+	}
+	Global().Counter("g").Inc()
+	restore()
+	if Global() != orig {
+		t.Fatal("restore did not reinstate the previous registry")
+	}
+	if r.Value("g") != 1 {
+		t.Fatal("write through Global lost")
+	}
+}
+
+// TestRenderDeterministic: Render must produce identical output across
+// calls (sorted keys, fixed alignment) despite map iteration order.
+func TestRenderDeterministic(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"z/last", "a/first", "m/middle", "wall/x", "simnet/dials"} {
+		r.Counter(n).Add(uint64(len(n)))
+	}
+	r.Histogram("lat/one").Observe(time.Millisecond)
+	r.Histogram("lat/two").Observe(time.Second)
+	s := r.Snapshot()
+	first := s.Render()
+	for i := 0; i < 20; i++ {
+		if got := s.Render(); got != first {
+			t.Fatalf("Render not deterministic:\n%s\nvs\n%s", first, got)
+		}
+	}
+	if !strings.Contains(first, "a/first") || strings.Index(first, "a/first") > strings.Index(first, "z/last") {
+		t.Fatalf("keys not sorted:\n%s", first)
+	}
+}

@@ -16,10 +16,27 @@ import (
 	"hash"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tlsshortcuts/internal/session"
+	"tlsshortcuts/internal/telemetry"
 )
+
+// countOpen records a ticket-resumption decrypt outcome on the process
+// registry. Telemetry observes, never perturbs: with no registry
+// installed this is a single atomic load and branch.
+func countOpen(ok bool) {
+	r := telemetry.Global()
+	if r == nil {
+		return
+	}
+	if ok {
+		r.Counter("ticket/open_ok").Inc()
+	} else {
+		r.Counter("ticket/open_miss").Inc()
+	}
+}
 
 // Format is a ticket wire format.
 type Format int
@@ -250,7 +267,9 @@ func (s *Static) LookupKey(tkt []byte, _ time.Time) *STEK {
 }
 
 func (s *Static) OpenTicket(tkt []byte, _ time.Time) *session.State {
-	return s.key.Open(tkt)
+	st := s.key.Open(tkt)
+	countOpen(st != nil)
+	return st
 }
 
 // Rotating derives a fresh key every Period from Base, and keeps accepting
@@ -265,6 +284,11 @@ type Rotating struct {
 
 	mu    sync.Mutex
 	cache map[int64]*STEK
+
+	// lastIssued is 1 + the epoch of the most recent IssuingKey call
+	// (0 = none yet), so consecutive issues under different epochs —
+	// rotations as a scanner would observe them — can be counted.
+	lastIssued atomic.Int64
 }
 
 func (r *Rotating) epoch(now time.Time) int64 {
@@ -290,10 +314,23 @@ func (r *Rotating) key(epoch int64) *STEK {
 	seed := binary.BigEndian.AppendUint64(append([]byte(nil), r.Seed...), uint64(epoch))
 	k := Derive(seed, r.Format)
 	r.cache[epoch] = k
+	// Counted under r.mu: exactly one derivation per distinct epoch,
+	// whatever the worker interleaving.
+	telemetry.Global().Counter("ticket/stek_derived").Inc()
 	return k
 }
 
-func (r *Rotating) IssuingKey(now time.Time) *STEK { return r.key(r.epoch(now)) }
+func (r *Rotating) IssuingKey(now time.Time) *STEK {
+	e := r.epoch(now)
+	// Exactly one caller observes each epoch transition (the atomic swap
+	// hands the previous value to a single winner), and the lockstep
+	// virtual clock fixes every phase's epoch, so the rotation count is
+	// deterministic across worker counts.
+	if prev := r.lastIssued.Swap(e + 1); prev != 0 && prev != e+1 {
+		telemetry.Global().Counter("ticket/stek_rotations").Inc()
+	}
+	return r.key(e)
+}
 
 func (r *Rotating) ActiveKeys(now time.Time) []*STEK {
 	e := r.epoch(now)
