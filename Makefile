@@ -1,6 +1,14 @@
 GO ?= go
 
-.PHONY: build test test-faults test-telemetry race bench bench-campaign fmt
+# Bench knobs: every bench target names the root package by its stable
+# import path (tlsshortcuts) instead of ".", so the command works from
+# any directory and CI/local invocations measure the same package; all
+# targets honor BENCHTIME for comparable iteration counts.
+BENCHPKG ?= tlsshortcuts
+BENCHTIME ?= 1x
+
+.PHONY: build test test-faults test-telemetry test-shards race \
+	bench bench-campaign bench-gate bench-million fmt
 
 build:
 	$(GO) build ./...
@@ -28,17 +36,45 @@ test-telemetry:
 	$(GO) test -run 'Telemetry|Span|ReportRendering' \
 		./internal/scanner ./internal/simnet ./internal/study
 
+# Sharding determinism suite: the 200x8 seed-7 campaign split into 1, 3,
+# and 5 independently-run shards and merged must reproduce the committed
+# golden hash byte-identically, shards must not depend on worker count,
+# and the merge must reject malformed shard sets.
+test-shards:
+	$(GO) test -run 'Shard|Merge|CampaignDeterminism' -count=1 ./internal/study
+
 race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+	$(GO) test -run=NONE -bench=. -benchtime=$(BENCHTIME) ./...
 
 # Full-scale campaign benchmark (1000 domains x 44 days, 16 workers);
 # refreshes the committed BENCH_campaign.json trajectory point.
 bench-campaign:
 	BENCH_CAMPAIGN_FULL=1 BENCH_CAMPAIGN_OUT=BENCH_campaign.json \
-		$(GO) test -run=NONE -bench=CampaignE2E -benchtime=1x .
+		$(GO) test -run=NONE -bench='CampaignE2E$$' -benchtime=$(BENCHTIME) $(BENCHPKG)
+
+# Smoke-scale bench + regression gate: measures the short campaign,
+# then compares allocs_per_op (tight) and seconds_per_op (loose) against
+# the committed smoke baseline. CI fails the build if this fails.
+bench-gate:
+	BENCH_CAMPAIGN_OUT=/tmp/bench_smoke.json \
+		$(GO) test -short -run=NONE -bench='CampaignE2E$$' -benchtime=$(BENCHTIME) $(BENCHPKG)
+	$(GO) run tlsshortcuts/cmd/benchgate -baseline testdata/bench_smoke_baseline.json -current /tmp/bench_smoke.json
+
+# Million-scale extrapolation profile: paper-shaped 63-day campaign at
+# BENCH_MILLION_LIST domains, sampling peak live heap and projecting
+# memory/wall time to the Top Million x 63 days; refreshes the committed
+# BENCH_million.json. Override the scale for a quick smoke:
+#   make bench-million BENCH_MILLION_LIST=300 BENCH_MILLION_DAYS=6 BENCH_MILLION_OUT=/tmp/m.json
+BENCH_MILLION_LIST ?= 4000
+BENCH_MILLION_DAYS ?= 63
+BENCH_MILLION_OUT ?= BENCH_million.json
+bench-million:
+	BENCH_MILLION_LIST=$(BENCH_MILLION_LIST) BENCH_MILLION_DAYS=$(BENCH_MILLION_DAYS) \
+	BENCH_MILLION_OUT=$(BENCH_MILLION_OUT) \
+		$(GO) test -run=NONE -bench=CampaignMillionProfile -benchtime=$(BENCHTIME) -timeout=30m $(BENCHPKG)
 
 fmt:
 	gofmt -l -w .

@@ -69,9 +69,27 @@ func BuildWorld(o WorldOptions) (*World, error) {
 	return population.Build(o)
 }
 
-// RunStudy executes a full measurement campaign.
+// ShardSpec selects one deterministic slice of a campaign's domain list
+// (StudyOptions.Shard): shard Index of Count scans the domains at rank
+// positions p with p % Count == Index.
+type ShardSpec = study.ShardSpec
+
+// RunStudy executes a full measurement campaign — or, when
+// StudyOptions.Shard is set, one shard of it.
 func RunStudy(o StudyOptions) (*Dataset, error) {
 	return study.Run(o)
+}
+
+// MergeDatasets recombines a complete set of shard datasets into a
+// dataset byte-identical to the monolithic campaign's.
+func MergeDatasets(shards ...*Dataset) (*Dataset, error) {
+	return study.MergeDatasets(shards...)
+}
+
+// MergeTelemetry sums per-shard telemetry snapshots into one
+// campaign-wide snapshot.
+func MergeTelemetry(shards ...*TelemetrySnapshot) *TelemetrySnapshot {
+	return telemetry.MergeSnapshots(shards...)
 }
 
 // BuildReport computes exposures, windows, and report sections.

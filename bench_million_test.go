@@ -1,0 +1,141 @@
+// Million-scale extrapolation profile: runs a paper-shaped campaign (63
+// scan days, list size set by BENCH_MILLION_LIST) while sampling peak
+// live heap, then projects memory and wall time to the Top Million x 63
+// days the paper actually scanned. The projection is honest because the
+// incremental aggregator makes resident memory O(domains) — independent
+// of day count — and shards divide wall time by machine count without
+// changing a byte of the merged dataset (TestShardedCampaignMatchesGolden).
+//
+// `make bench-million` refreshes the committed BENCH_million.json.
+package tlsshortcuts_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"tlsshortcuts/internal/study"
+)
+
+const (
+	millionDomains = 1_000_000
+	millionDays    = 63
+)
+
+func envInt(name string, def int) int {
+	if v := os.Getenv(name); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+// heapSampler polls the live heap until stopped and records the peak.
+type heapSampler struct {
+	stop chan struct{}
+	done chan uint64
+}
+
+func startHeapSampler() *heapSampler {
+	s := &heapSampler{stop: make(chan struct{}), done: make(chan uint64)}
+	go func() {
+		var peak uint64
+		var ms runtime.MemStats
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-s.stop:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak {
+					peak = ms.HeapAlloc
+				}
+				s.done <- peak
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak {
+					peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+	return s
+}
+
+func (s *heapSampler) peak() uint64 {
+	close(s.stop)
+	return <-s.done
+}
+
+func BenchmarkCampaignMillionProfile(b *testing.B) {
+	size := envInt("BENCH_MILLION_LIST", 4000)
+	days := envInt("BENCH_MILLION_DAYS", millionDays)
+	b.ReportAllocs()
+
+	var dials uint64
+	var elapsed time.Duration
+	var peak uint64
+	runtime.GC()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sampler := startHeapSampler()
+		start := time.Now()
+		ds, err := study.Run(study.Options{ListSize: size, Days: days, Seed: 3, Workers: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		elapsed += time.Since(start)
+		dials += ds.Dials
+		if p := sampler.peak(); p > peak {
+			peak = p
+		}
+	}
+	b.StopTimer()
+
+	secPerOp := elapsed.Seconds() / float64(b.N)
+	hsPerSec := float64(dials) / elapsed.Seconds()
+	bytesPerDomain := float64(peak) / float64(size)
+	domainDays := float64(size) * float64(days)
+	targetDomainDays := float64(millionDomains) * float64(millionDays)
+	b.ReportMetric(hsPerSec, "handshakes/s")
+	b.ReportMetric(bytesPerDomain, "heapB/domain")
+
+	out := os.Getenv("BENCH_MILLION_OUT")
+	if out == "" {
+		return
+	}
+	doc := map[string]interface{}{
+		"benchmark":                  "CampaignMillionProfile",
+		"list_size":                  size,
+		"days":                       days,
+		"workers":                    16,
+		"seed":                       3,
+		"iterations":                 b.N,
+		"seconds_per_op":             secPerOp,
+		"handshakes_per_op":          dials / uint64(b.N),
+		"handshakes_per_sec":         hsPerSec,
+		"peak_live_heap_bytes":       peak,
+		"live_heap_bytes_per_domain": bytesPerDomain,
+		"extrapolation": map[string]interface{}{
+			"target":                        "Top Million x 63 days (paper scale)",
+			"projected_peak_heap_bytes":     uint64(bytesPerDomain * millionDomains),
+			"projected_wall_hours_1host":    secPerOp * targetDomainDays / domainDays / 3600,
+			"projected_wall_hours_64shards": secPerOp * targetDomainDays / domainDays / 3600 / 64,
+			"memory_model":                  "O(domains): per-day observations fold into running per-domain state as each day completes, so days do not multiply resident memory",
+			"shard_model":                   "studyrun -shard i/N slices divide wall time ~linearly; -merge reproduces the monolithic dataset byte-identically",
+		},
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(enc, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote %s", out)
+}

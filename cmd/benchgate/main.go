@@ -1,0 +1,108 @@
+// Command benchgate compares a fresh campaign-benchmark JSON (written by
+// BenchmarkCampaignE2E via BENCH_CAMPAIGN_OUT) against a committed
+// baseline and exits non-zero on regression. CI runs it after the smoke
+// bench so performance claims are enforced, not just recorded.
+//
+// Usage:
+//
+//	benchgate -baseline testdata/bench_smoke_baseline.json -current /tmp/bench.json
+//
+// Two metrics gate the build:
+//
+//   - allocs_per_op: deterministic for a fixed campaign shape, so the
+//     tolerance is tight (default 25%). An alloc regression here means a
+//     hot-path change reintroduced per-handshake garbage.
+//   - seconds_per_op: noisy on shared CI runners, so the tolerance is
+//     loose (default 150%) — it only catches order-of-magnitude rot, not
+//     jitter.
+//
+// The gate refuses to compare runs of different campaign shapes
+// (list_size/days/workers/seed must match the baseline).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type benchDoc struct {
+	Benchmark    string  `json:"benchmark"`
+	ListSize     int     `json:"list_size"`
+	Days         int     `json:"days"`
+	Workers      int     `json:"workers"`
+	Seed         int64   `json:"seed"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	SecondsPerOp float64 `json:"seconds_per_op"`
+}
+
+func load(path string) (*benchDoc, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d benchDoc
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if d.AllocsPerOp <= 0 || d.SecondsPerOp <= 0 {
+		return nil, fmt.Errorf("%s: missing allocs_per_op/seconds_per_op", path)
+	}
+	return &d, nil
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "committed baseline bench JSON")
+		currentPath  = flag.String("current", "", "freshly measured bench JSON")
+		allocsTol    = flag.Float64("allocs-tol", 0.25, "allowed fractional allocs_per_op increase")
+		secondsTol   = flag.Float64("seconds-tol", 1.50, "allowed fractional seconds_per_op increase")
+	)
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -current are required")
+		os.Exit(2)
+	}
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: current: %v\n", err)
+		os.Exit(2)
+	}
+	if base.Benchmark != cur.Benchmark || base.ListSize != cur.ListSize ||
+		base.Days != cur.Days || base.Workers != cur.Workers || base.Seed != cur.Seed {
+		fmt.Fprintf(os.Stderr,
+			"benchgate: shape mismatch: baseline %s %dx%d w%d seed %d vs current %s %dx%d w%d seed %d\n",
+			base.Benchmark, base.ListSize, base.Days, base.Workers, base.Seed,
+			cur.Benchmark, cur.ListSize, cur.Days, cur.Workers, cur.Seed)
+		os.Exit(2)
+	}
+
+	fail := false
+	check := func(name string, baseV, curV, tol float64) {
+		ratio := curV/baseV - 1
+		status := "ok"
+		if ratio > tol {
+			status = "REGRESSION"
+			fail = true
+		}
+		fmt.Printf("%-14s baseline %14.4g  current %14.4g  delta %+7.1f%%  (tolerance +%.0f%%)  %s\n",
+			name, baseV, curV, 100*ratio, 100*tol, status)
+	}
+	check("allocs_per_op", base.AllocsPerOp, cur.AllocsPerOp, *allocsTol)
+	check("seconds_per_op", base.SecondsPerOp, cur.SecondsPerOp, *secondsTol)
+	if fail {
+		fmt.Println("benchgate: FAIL — performance regressed past tolerance")
+		fmt.Println("benchgate: if the regression is intentional, refresh the committed baseline")
+		os.Exit(1)
+	}
+	if cur.AllocsPerOp < base.AllocsPerOp*(1-*allocsTol) {
+		fmt.Println("benchgate: note — allocs improved past tolerance; consider refreshing the baseline to lock it in")
+	}
+	fmt.Println("benchgate: PASS")
+}

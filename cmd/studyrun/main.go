@@ -5,6 +5,16 @@
 //
 //	studyrun -listsize 5000 -days 64 -seed 1 -out dataset.json
 //
+// Sharding (CI splits a campaign across machines and recombines):
+//
+//	studyrun -listsize 5000 -days 64 -seed 1 -shard 0/3 -out shard0.json
+//	studyrun -listsize 5000 -days 64 -seed 1 -shard 1/3 -out shard1.json
+//	studyrun -listsize 5000 -days 64 -seed 1 -shard 2/3 -out shard2.json
+//	studyrun -merge -out dataset.json shard0.json shard1.json shard2.json
+//
+// The merged dataset is byte-identical to the monolithic run's (the CI
+// determinism job enforces this against a committed golden hash).
+//
 // Observability (all off by default; none of it perturbs the dataset):
 //
 //	studyrun -progress                       # live stderr ticker: day N/M, handshakes/s, failure rate
@@ -26,6 +36,8 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"tlsshortcuts/internal/faults"
@@ -42,6 +54,9 @@ func main() {
 		out      = flag.String("out", "dataset.json", "output dataset path")
 		report   = flag.Bool("report", true, "print the full report after the run")
 		quiet    = flag.Bool("quiet", false, "suppress progress logging")
+
+		shard = flag.String("shard", "", "run one campaign slice, as i/N (e.g. 0/3); merge with -merge")
+		merge = flag.Bool("merge", false, "merge shard dataset files (given as args) into -out instead of running")
 
 		probeTimeout = flag.Duration("probe-timeout", 0, "per-connection deadline (0 = scanner default, <0 disables)")
 		retries      = flag.Int("retries", 0, "transient-failure retries (0 = scanner default, <0 disables)")
@@ -64,6 +79,18 @@ func main() {
 		if !*quiet {
 			log.Printf(format, args...)
 		}
+	}
+	if *merge {
+		runMerge(flag.Args(), *out, *report, logf)
+		return
+	}
+	var shardSpec *study.ShardSpec
+	if *shard != "" {
+		s, err := parseShard(*shard)
+		if err != nil {
+			log.Fatalf("bad -shard: %v", err)
+		}
+		shardSpec = s
 	}
 	var fo *faults.Options
 	if *faultRefuse > 0 || *faultReset > 0 || *faultStall > 0 || *faultFlap > 0 || *faultChurn > 0 {
@@ -130,6 +157,7 @@ func main() {
 		ProbeTimeout: *probeTimeout,
 		Retries:      *retries,
 		Telemetry:    reg,
+		Shard:        shardSpec,
 	}
 	if trace != nil {
 		opts.Trace = trace
@@ -169,6 +197,54 @@ func main() {
 		if reg != nil {
 			fmt.Fprintln(os.Stdout, study.TelemetrySection(reg.Snapshot()))
 		}
+	}
+}
+
+// parseShard parses "i/N" into a validated ShardSpec.
+func parseShard(s string) (*study.ShardSpec, error) {
+	i := strings.IndexByte(s, '/')
+	if i < 0 {
+		return nil, fmt.Errorf("want i/N, got %q", s)
+	}
+	idx, err := strconv.Atoi(s[:i])
+	if err != nil {
+		return nil, fmt.Errorf("shard index: %v", err)
+	}
+	count, err := strconv.Atoi(s[i+1:])
+	if err != nil {
+		return nil, fmt.Errorf("shard count: %v", err)
+	}
+	spec := &study.ShardSpec{Index: idx, Count: count}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// runMerge loads the shard dataset files named in args, recombines them
+// with study.MergeDatasets, and writes the monolithic-equivalent dataset.
+func runMerge(paths []string, out string, report bool, logf func(string, ...interface{})) {
+	if len(paths) == 0 {
+		log.Fatalf("-merge needs shard dataset files as arguments")
+	}
+	shards := make([]*study.Dataset, 0, len(paths))
+	for _, p := range paths {
+		ds, err := study.Load(p)
+		if err != nil {
+			log.Fatalf("loading shard %s: %v", p, err)
+		}
+		shards = append(shards, ds)
+	}
+	merged, err := study.MergeDatasets(shards...)
+	if err != nil {
+		log.Fatalf("merging shards: %v", err)
+	}
+	logf("merged %d shards; writing %s", len(shards), out)
+	if err := merged.Save(out); err != nil {
+		log.Fatalf("saving dataset: %v", err)
+	}
+	if report {
+		fmt.Fprintln(os.Stdout, study.BuildReport(merged).String())
 	}
 }
 

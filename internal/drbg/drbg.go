@@ -47,6 +47,58 @@ func NewString(parts ...string) *Reader {
 	return New(bs...)
 }
 
+// appendPart appends one length-prefixed seed part.
+func appendPart(b, p []byte) []byte {
+	b = binary.BigEndian.AppendUint64(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+// NewParts derives the stream for (p0, s1, s2), byte-identical to
+// New(p0, []byte(s1), []byte(s2)). This fixed-arity form is the
+// scanner's per-probe hot path: it skips the variadic slice, the two
+// string conversions, and the streaming hash state.
+func NewParts(p0 []byte, s1, s2 string) *Reader {
+	r := &Reader{off: 32}
+	r.key = partsKey(p0, s1, s2)
+	return r
+}
+
+func partsKey(p0 []byte, s1, s2 string) [32]byte {
+	n := 24 + len(p0) + len(s1) + len(s2)
+	var arr [192]byte
+	var b []byte
+	if n <= len(arr) {
+		b = arr[:0]
+	} else {
+		b = make([]byte, 0, n)
+	}
+	b = appendPart(b, p0)
+	b = binary.BigEndian.AppendUint64(b, uint64(len(s1)))
+	b = append(b, s1...)
+	b = binary.BigEndian.AppendUint64(b, uint64(len(s2)))
+	b = append(b, s2...)
+	return sha256.Sum256(b)
+}
+
+// Reseed re-keys the reader in place from two seed parts, equivalent to
+// replacing it with New(p0, p1). Terminators keep one Reader per pooled
+// connection and reseed it per ClientHello instead of allocating.
+func (r *Reader) Reseed(p0, p1 []byte) {
+	n := 16 + len(p0) + len(p1)
+	var arr [192]byte
+	var b []byte
+	if n <= len(arr) {
+		b = arr[:0]
+	} else {
+		b = make([]byte, 0, n)
+	}
+	b = appendPart(b, p0)
+	b = appendPart(b, p1)
+	r.key = sha256.Sum256(b)
+	r.ctr = 0
+	r.off = 32
+}
+
 // Read fills p from the stream. It never fails.
 func (r *Reader) Read(p []byte) (int, error) {
 	n := len(p)

@@ -94,6 +94,23 @@ func (w *World) TrustedCoreDomains() []string {
 	return names
 }
 
+// Shard returns the round-robin slice of a rank-ordered domain list
+// belonging to shard index of count: the domains at positions p with
+// p % count == index, in their original order. Every domain lands in
+// exactly one shard, the shards' concatenation is a permutation of the
+// input, and round-robin keeps each shard's rank distribution — and so
+// its operator mix and scan cost — representative of the whole list.
+func Shard(list []string, index, count int) []string {
+	if count <= 1 {
+		return list
+	}
+	out := make([]string, 0, (len(list)+count-1)/count)
+	for p := index; p < len(list); p += count {
+		out = append(out, list[p])
+	}
+	return out
+}
+
 // profile is one named operator's deployment template.
 type profile struct {
 	op    string

@@ -47,23 +47,90 @@ func PRF(secret []byte, label string, seed []byte, n int) []byte {
 
 // Expander amortizes the HMAC keying across the several PRF calls a
 // handshake makes under one secret (key expansion plus two Finished
-// hashes): keying HMAC-SHA256 costs two compression rounds, so reusing
-// one keyed instance drops a third of the per-connection PRF hashing.
+// hashes), and — unlike crypto/hmac — is rekeyable in place: a pooled
+// connection calls SetSecret per handshake and never re-allocates MAC
+// state. It implements HMAC-SHA256 from one reused SHA-256 instance and
+// expander-owned pad/scratch arrays, so a keyed MAC costs zero
+// allocations (crypto/hmac's New allocates two digests plus pads on
+// every keying).
 type Expander struct {
-	mac hash.Hash
-	ls  []byte
+	h          hash.Hash // single reused SHA-256 instance
+	ipad, opad [64]byte  // key XOR 0x36 / 0x5c, per RFC 2104
+	isum       [sha256.Size]byte
+	a          [sha256.Size]byte // P_SHA256's A(i) chain value
+	ls         []byte
 }
 
 // NewExpander returns an Expander keyed with secret.
 func NewExpander(secret []byte) *Expander {
-	return &Expander{mac: hmac.New(sha256.New, secret)}
+	e := &Expander{}
+	e.SetSecret(secret)
+	return e
+}
+
+// SetSecret re-keys the expander in place.
+func (e *Expander) SetSecret(secret []byte) {
+	if e.h == nil {
+		e.h = sha256.New()
+	}
+	k := secret
+	if len(k) > len(e.ipad) {
+		e.h.Reset()
+		e.h.Write(k)
+		k = e.h.Sum(e.isum[:0])
+	}
+	for i := range e.ipad {
+		e.ipad[i] = 0x36
+		e.opad[i] = 0x5c
+	}
+	for i, b := range k {
+		e.ipad[i] ^= b
+		e.opad[i] ^= b
+	}
+}
+
+// begin starts one MAC: the inner hash absorbs the inner pad.
+func (e *Expander) begin() {
+	e.h.Reset()
+	e.h.Write(e.ipad[:])
+}
+
+// finish completes the MAC begun by begin, appending the tag to dst.
+func (e *Expander) finish(dst []byte) []byte {
+	inner := e.h.Sum(e.isum[:0])
+	e.h.Reset()
+	e.h.Write(e.opad[:])
+	e.h.Write(inner)
+	return e.h.Sum(dst)
 }
 
 // PRF is the TLS 1.2 PRF under the expander's secret.
 func (e *Expander) PRF(label string, seed []byte, n int) []byte {
+	return e.AppendPRF(make([]byte, 0, n), label, seed, n)
+}
+
+// AppendPRF appends n bytes of P_SHA256(secret, label || seed) to dst,
+// allocating only if dst lacks capacity — the engines pass per-conn
+// scratch so steady-state key expansion is allocation-free.
+func (e *Expander) AppendPRF(dst []byte, label string, seed []byte, n int) []byte {
 	e.ls = append(e.ls[:0], label...)
 	e.ls = append(e.ls, seed...)
-	return phash(e.mac, e.ls, n)
+	base := len(dst)
+	e.begin()
+	e.h.Write(e.ls)
+	e.finish(e.a[:0]) // A(1)
+	for len(dst)-base < n {
+		e.begin()
+		e.h.Write(e.a[:])
+		e.h.Write(e.ls)
+		dst = e.finish(dst)
+		// A(i+1) = HMAC(A(i)); begin/Write copy a into the hash state,
+		// so summing back into a is safe.
+		e.begin()
+		e.h.Write(e.a[:])
+		e.finish(e.a[:0])
+	}
+	return dst[:base+n]
 }
 
 // MasterSecret derives the 48-byte master secret from a premaster secret

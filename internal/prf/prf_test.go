@@ -1,0 +1,42 @@
+package prf
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestExpanderMatchesReference pins the hand-rolled rekeyable HMAC
+// against the crypto/hmac-based package functions for assorted secret
+// and output lengths (including secrets longer than the SHA-256 block,
+// which take the hash-the-key path).
+func TestExpanderMatchesReference(t *testing.T) {
+	secrets := [][]byte{
+		{},
+		[]byte("k"),
+		bytes.Repeat([]byte{0xA5}, 48),
+		bytes.Repeat([]byte{0x5A}, 64),
+		bytes.Repeat([]byte{0x77}, 200), // > block size
+	}
+	seeds := [][]byte{{}, []byte("seed"), bytes.Repeat([]byte{1, 2, 3}, 30)}
+	for _, secret := range secrets {
+		e := NewExpander(secret)
+		for _, seed := range seeds {
+			for _, n := range []int{1, 12, 32, 40, 48, 100} {
+				want := PRF(secret, "test label", seed, n)
+				got := e.PRF("test label", seed, n)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("Expander diverges from reference (len(secret)=%d len(seed)=%d n=%d)", len(secret), len(seed), n)
+				}
+				dst := make([]byte, 0, n)
+				if got2 := e.AppendPRF(dst, "test label", seed, n); !bytes.Equal(got2, want) {
+					t.Fatalf("AppendPRF diverges (n=%d)", n)
+				}
+			}
+		}
+		// Rekeying in place must behave like a fresh expander.
+		e.SetSecret([]byte("other"))
+		if !bytes.Equal(e.PRF("l", []byte("s"), 32), PRF([]byte("other"), "l", []byte("s"), 32)) {
+			t.Fatal("SetSecret rekey diverges from reference")
+		}
+	}
+}

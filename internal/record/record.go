@@ -38,6 +38,12 @@ type halfConn struct {
 	aead cipher.AEAD
 	salt [4]byte
 	seq  uint64
+	// nonce and aadBuf are scratch handed to the AEAD. They live on the
+	// (heap-resident) connection rather than the stack because slices
+	// passed through the cipher.AEAD interface escape: stack locals here
+	// would cost two allocations per record.
+	nonce  [12]byte
+	aadBuf [13]byte
 }
 
 // Conn frames records over an underlying net.Conn and applies AEAD
@@ -45,6 +51,9 @@ type halfConn struct {
 type Conn struct {
 	c       net.Conn
 	in, out halfConn
+	// hdr is the reusable frame-header scratch for ReadRecord (reads
+	// through the net.Conn interface escape their buffer).
+	hdr [5]byte
 	// wbuf is the reusable outgoing-record scratch. Both in-memory pipe
 	// flavors (net.Pipe and simnet's buffered pipe) consume the bytes
 	// before Write returns, so the buffer is free again at the next call.
@@ -56,6 +65,16 @@ type Conn struct {
 
 // NewConn wraps c; both directions start in plaintext.
 func NewConn(c net.Conn) *Conn { return &Conn{c: c} }
+
+// Reset rebinds the connection to c and clears both directions' crypto
+// state, keeping the frame scratch buffers. The engines pool their
+// handshake state across connections; nothing a caller retains aliases
+// these buffers (payloads are copied out before the next read).
+func (rc *Conn) Reset(c net.Conn) {
+	rc.c = c
+	rc.in = halfConn{}
+	rc.out = halfConn{}
+}
 
 // ArmWrite switches the write direction to AES-128-GCM.
 func (rc *Conn) ArmWrite(key, salt []byte) error { return rc.out.arm(key, salt) }
@@ -86,6 +105,16 @@ func aad(seq uint64, typ uint8, n int) []byte {
 	return b[:]
 }
 
+// aad is the connection-scratch flavor of the free function above: the
+// returned slice aliases the halfConn and is valid until the next call.
+func (h *halfConn) aad(seq uint64, typ uint8, n int) []byte {
+	binary.BigEndian.PutUint64(h.aadBuf[:8], seq)
+	h.aadBuf[8] = typ
+	binary.BigEndian.PutUint16(h.aadBuf[9:11], recordVersion)
+	binary.BigEndian.PutUint16(h.aadBuf[11:13], uint16(n))
+	return h.aadBuf[:]
+}
+
 // Seal protects plain for the armed state; the explicit nonce (the
 // sequence number) is prepended to the ciphertext, as on the real wire.
 func Seal(h *halfConn, typ uint8, plain []byte) []byte {
@@ -95,13 +124,12 @@ func Seal(h *halfConn, typ uint8, plain []byte) []byte {
 // sealInto appends the protected payload (explicit nonce || ciphertext ||
 // tag) to dst and returns the extended slice.
 func sealInto(dst []byte, h *halfConn, typ uint8, plain []byte) []byte {
-	var nonce [12]byte
-	copy(nonce[:4], h.salt[:])
-	binary.BigEndian.PutUint64(nonce[4:], h.seq)
+	copy(h.nonce[:4], h.salt[:])
+	binary.BigEndian.PutUint64(h.nonce[4:], h.seq)
 	var seq [8]byte
 	binary.BigEndian.PutUint64(seq[:], h.seq)
 	dst = append(dst, seq[:]...)
-	dst = h.aead.Seal(dst, nonce[:], plain, aad(h.seq, typ, len(plain)))
+	dst = h.aead.Seal(dst, h.nonce[:], plain, h.aad(h.seq, typ, len(plain)))
 	h.seq++
 	return dst
 }
@@ -156,46 +184,46 @@ func (rc *Conn) WriteRecord(typ uint8, payload []byte) error {
 	return err
 }
 
-// ReadRecord reads and (if armed) decrypts one record. The returned
-// Payload aliases the connection's reusable read buffer and is valid
-// only until the next ReadRecord on the same Conn; callers that retain
-// it must copy.
-func (rc *Conn) ReadRecord() (*Record, error) {
-	var hdr [5]byte
-	if _, err := io.ReadFull(rc.c, hdr[:]); err != nil {
-		return nil, err
+// ReadRecord reads and (if armed) decrypts one record, returned by
+// value so the steady-state read path allocates nothing. The Payload
+// aliases the connection's reusable read buffer and is valid only until
+// the next ReadRecord on the same Conn; callers that retain it must
+// copy.
+func (rc *Conn) ReadRecord() (Record, error) {
+	if _, err := io.ReadFull(rc.c, rc.hdr[:]); err != nil {
+		return Record{}, err
 	}
-	n := int(binary.BigEndian.Uint16(hdr[3:5]))
+	n := int(binary.BigEndian.Uint16(rc.hdr[3:5]))
 	if n > MaxPlaintext+1024 {
-		return nil, fmt.Errorf("record: oversized record (%d)", n)
+		return Record{}, fmt.Errorf("record: oversized record (%d)", n)
 	}
 	if cap(rc.rbuf) < n {
 		rc.rbuf = make([]byte, n, n+256)
 	}
 	payload := rc.rbuf[:n]
 	if _, err := io.ReadFull(rc.c, payload); err != nil {
-		return nil, err
+		return Record{}, err
 	}
-	typ := hdr[0]
+	typ := rc.hdr[0]
 	if rc.in.aead != nil && typ != TypeChangeCipherSpec {
-		var nonce [12]byte
-		copy(nonce[:4], rc.in.salt[:])
+		h := &rc.in
+		copy(h.nonce[:4], h.salt[:])
 		if len(payload) < 8+16 {
-			return nil, fmt.Errorf("record: short protected record")
+			return Record{}, fmt.Errorf("record: short protected record")
 		}
-		copy(nonce[4:], payload[:8])
+		copy(h.nonce[4:], payload[:8])
 		seq := binary.BigEndian.Uint64(payload[:8])
 		plainLen := len(payload) - 8 - 16
 		// Decrypt in place: dst payload[8:8] aliases the ciphertext start,
 		// the exact-overlap case crypto/cipher's GCM supports, so the
 		// plaintext needs no second allocation.
-		plain, err := rc.in.aead.Open(payload[8:8], nonce[:], payload[8:], aad(seq, typ, plainLen))
+		plain, err := h.aead.Open(payload[8:8], h.nonce[:], payload[8:], h.aad(seq, typ, plainLen))
 		if err != nil {
-			return nil, fmt.Errorf("record: decrypt: %w", err)
+			return Record{}, fmt.Errorf("record: decrypt: %w", err)
 		}
 		payload = plain
 	}
-	return &Record{Type: typ, Payload: payload}, nil
+	return Record{Type: typ, Payload: payload}, nil
 }
 
 // Alert codes (the tiny subset the engines emit).

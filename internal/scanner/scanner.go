@@ -78,6 +78,13 @@ type Scanner struct {
 	// takes the pre-instrumentation code paths untouched, and an
 	// enabled one changes no probe behavior (see internal/telemetry).
 	Telemetry *telemetry.Registry
+
+	// latNames caches the rendered per-family histogram names
+	// ("wall/scanner/latency/<family>", "scanner/vlatency/<family>");
+	// families are bounded but probes are not, and concatenating the
+	// names on every probe is a measurable slice of a campaign's
+	// allocations.
+	latNames sync.Map // metric family -> [2]string{wall, virtual}
 }
 
 // Scan hardening defaults: generous wall-clock deadline (simnet
@@ -185,8 +192,9 @@ func (s *Scanner) connect(domain, label string, cfg *tlsclient.Config) (*tlsclie
 				// (wall/, scheduling-dependent) and virtual time — the
 				// accumulated retry backoff the probe waited out on the
 				// virtual timeline, a deterministic function of the plan.
-				tel.Histogram("wall/scanner/latency/" + mlabel).Observe(elapsed)
-				tel.Histogram("scanner/vlatency/" + mlabel).Observe(wait)
+				names := s.latencyNames(mlabel)
+				tel.Histogram(names[0]).Observe(elapsed)
+				tel.Histogram(names[1]).Observe(wait)
 				if err != nil {
 					tel.Counter(telemetry.CounterProbeFailures).Inc()
 					tel.Counter("scanner/errors/" + string(class)).Inc()
@@ -202,6 +210,16 @@ func (s *Scanner) connect(domain, label string, cfg *tlsclient.Config) (*tlsclie
 		}
 		wait += s.backoff(domain, label, attempt)
 	}
+}
+
+// latencyNames returns the cached histogram names for a probe family.
+func (s *Scanner) latencyNames(family string) [2]string {
+	if v, ok := s.latNames.Load(family); ok {
+		return v.([2]string)
+	}
+	names := [2]string{"wall/scanner/latency/" + family, "scanner/vlatency/" + family}
+	s.latNames.Store(family, names)
+	return names
 }
 
 // metricLabel reduces a probe label to its first two |-separated
@@ -249,7 +267,7 @@ func (s *Scanner) connectOnce(domain, label string, cfg *tlsclient.Config, calle
 	cfg.ReuseKex = true
 	cfg.Rand = callerRand
 	if callerRand == nil && s.Seed != nil {
-		cfg.Rand = drbg.New(s.Seed, []byte(domain), []byte(label))
+		cfg.Rand = drbg.NewParts(s.Seed, domain, label)
 	}
 	cap, err := tlsclient.Handshake(conn, cfg)
 	if err != nil {
@@ -314,6 +332,14 @@ type Observation struct {
 // suite list it restricts the offered suites (key-exchange scans) and
 // makes two connections to detect server value reuse.
 func (s *Scanner) Daily(domains []string, day int, suites []uint16, offerTicket bool) []Observation {
+	return s.DailyInto(nil, domains, day, suites, offerTicket)
+}
+
+// DailyInto is Daily writing into dst's storage (grown as needed), so a
+// campaign folding each day's observations as the day completes can
+// reuse one buffer for the whole run instead of retaining per-day
+// slices — the incremental-aggregation half of the sharding work.
+func (s *Scanner) DailyInto(dst []Observation, domains []string, day int, suites []uint16, offerTicket bool) []Observation {
 	kind := "plain"
 	switch {
 	case offerTicket:
@@ -324,10 +350,20 @@ func (s *Scanner) Daily(domains []string, day int, suites []uint16, offerTicket 
 	// Forced-suite scans only record what precedes the client's second
 	// flight, so they capture the SKE and disconnect (see perf.KexOnlyProbes).
 	kexOnly := len(suites) > 0 && !offerTicket && perf.KexOnlyProbes()
-	out := make([]Observation, len(domains))
+	// Probe labels depend only on (kind, day), never on the domain — the
+	// domain salts the entropy stream inside connect — so they are built
+	// once per scan, not once per connection.
+	l1 := fmt.Sprintf("daily|%s|%d|1", kind, day)
+	l2 := fmt.Sprintf("daily|%s|%d|2", kind, day)
+	out := dst[:0]
+	if cap(out) < len(domains) {
+		out = make([]Observation, len(domains))
+	} else {
+		out = out[:len(domains)]
+		clear(out)
+	}
 	s.forEach(len(domains), func(i int) {
 		o := Observation{Domain: domains[i], Day: day}
-		l1 := fmt.Sprintf("daily|%s|%d|1", kind, day)
 		cap1, class, err := s.connect(domains[i], l1, &tlsclient.Config{Suites: suites, OfferTicket: offerTicket, KexOnly: kexOnly})
 		if err != nil {
 			o.Err = err
@@ -342,7 +378,6 @@ func (s *Scanner) Daily(domains []string, day int, suites []uint16, offerTicket 
 		o.KEXValue = cap1.ServerKEXValue
 		o.TicketIssued = cap1.TicketIssued
 		o.LifetimeHint = cap1.LifetimeHint
-		l2 := fmt.Sprintf("daily|%s|%d|2", kind, day)
 		if offerTicket && cap1.TicketIssued {
 			cap2, class2, err := s.connect(domains[i], l2, &tlsclient.Config{Suites: suites, OfferTicket: true})
 			switch {
@@ -471,8 +506,19 @@ type XDStats struct {
 // a foreign session ID. Candidates are a prefix of a per-domain seeded
 // shuffle, so a larger budget strictly extends a smaller one.
 func (s *Scanner) CrossDomainGroups(targets []string, topo Topology, nAS, nIP int) (*UnionFind, XDStats) {
-	inPop := make(map[string]bool, len(targets))
-	for _, d := range targets {
+	return s.CrossDomainGroupsIn(targets, targets, topo, nAS, nIP)
+}
+
+// CrossDomainGroupsIn is CrossDomainGroups with the initiator set split
+// from the candidate population: only initiators establish sessions and
+// walk their neighbors, but candidacy is judged against pop. A sharded
+// campaign passes its core slice as initiators and the FULL trusted core
+// as pop, so a shard discovers exactly the edges whose initiating domain
+// it owns — the union of all shards' edges is the monolithic edge set.
+func (s *Scanner) CrossDomainGroupsIn(initiators, pop []string, topo Topology, nAS, nIP int) (*UnionFind, XDStats) {
+	targets := initiators
+	inPop := make(map[string]bool, len(pop))
+	for _, d := range pop {
 		inPop[d] = true
 	}
 	uf := NewUnionFind()

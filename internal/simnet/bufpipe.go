@@ -25,11 +25,22 @@ import (
 // written before a Close is still readable by the peer until drained
 // (TCP-like), and write deadlines only apply at call time.
 func NewBufferedPipe() (net.Conn, net.Conn) {
-	a2b := newPipeBuf() // data flowing a -> b
-	b2a := newPipeBuf() // data flowing b -> a
-	a := &bufConn{rd: b2a, wr: a2b}
-	b := &bufConn{rd: a2b, wr: b2a}
-	return a, b
+	// Both directions and both endpoints live in one allocation; a
+	// campaign makes one pipe per handshake, so the four separate
+	// allocations this replaces were a visible slice of the profile.
+	p := &pipePair{}
+	p.ab.cond.L = &p.ab.mu
+	p.ba.cond.L = &p.ba.mu
+	p.a = bufConn{rd: &p.ba, wr: &p.ab}
+	p.b = bufConn{rd: &p.ab, wr: &p.ba}
+	return &p.a, &p.b
+}
+
+// pipePair packs a pipe's two directions and two endpoints into a single
+// allocation.
+type pipePair struct {
+	ab, ba pipeBuf // data flowing a -> b, b -> a
+	a, b   bufConn
 }
 
 // pipeBuf is one direction's byte queue.
@@ -44,12 +55,7 @@ type pipeBuf struct {
 	rdDeadline time.Time
 	wrDeadline time.Time
 	rdTimer    *time.Timer
-}
-
-func newPipeBuf() *pipeBuf {
-	p := &pipeBuf{}
-	p.cond.L = &p.mu
-	return p
+	rdArmed    bool // timer armed for the current rdDeadline
 }
 
 // bufConn is one endpoint: reads from rd, writes into wr.
@@ -84,6 +90,16 @@ func (b *pipeBuf) write(p []byte) (int, error) {
 		b.buf = b.buf[:n]
 		b.off = 0
 	}
+	// Reserve a full handshake flight up front: growing from nil costs
+	// several reallocations per direction on every connection, and the
+	// server's flight (cert chain included) runs to ~2 KB.
+	if b.buf == nil && len(p) > 0 {
+		reserve := 2048
+		if len(p)+512 > reserve {
+			reserve = len(p) + 512
+		}
+		b.buf = make([]byte, 0, reserve)
+	}
 	b.buf = append(b.buf, p...)
 	b.cond.Broadcast()
 	return len(p), nil
@@ -114,6 +130,22 @@ func (b *pipeBuf) read(p []byte) (int, error) {
 		if len(p) == 0 {
 			return 0, nil
 		}
+		// Arm the wake-up timer only now that this reader actually blocks:
+		// most reads find data already buffered and never need one.
+		if !b.rdDeadline.IsZero() && !b.rdArmed {
+			if d := time.Until(b.rdDeadline); d > 0 {
+				if b.rdTimer != nil {
+					b.rdTimer.Reset(d)
+				} else {
+					b.rdTimer = time.AfterFunc(d, func() {
+						b.mu.Lock()
+						b.cond.Broadcast()
+						b.mu.Unlock()
+					})
+				}
+				b.rdArmed = true
+			}
+		}
 		b.cond.Wait()
 	}
 }
@@ -141,24 +173,18 @@ func (b *pipeBuf) closeRead() {
 	b.mu.Unlock()
 }
 
-// setReadDeadline installs t and arms a timer to wake blocked readers.
+// setReadDeadline records t; the wake-up timer is armed lazily by read()
+// the first time a reader blocks under this deadline, and reused (Reset)
+// across deadlines rather than reallocated. A stale fire is harmless
+// because the read loop rechecks the deadline under the lock.
 func (b *pipeBuf) setReadDeadline(t time.Time) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.rdDeadline = t
 	if b.rdTimer != nil {
 		b.rdTimer.Stop()
-		b.rdTimer = nil
 	}
-	if !t.IsZero() {
-		if d := time.Until(t); d > 0 {
-			b.rdTimer = time.AfterFunc(d, func() {
-				b.mu.Lock()
-				b.cond.Broadcast()
-				b.mu.Unlock()
-			})
-		}
-	}
+	b.rdArmed = false
 	b.cond.Broadcast()
 }
 

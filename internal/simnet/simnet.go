@@ -7,7 +7,6 @@ package simnet
 
 import (
 	"errors"
-	"hash/fnv"
 	"io"
 	"net"
 	"sort"
@@ -145,24 +144,29 @@ func (n *Net) dial(domain, label string) (net.Conn, error) {
 		idx = plan.Backend(domain, label, len(b.backends))
 	} else {
 		seq = b.dialSeq.Add(1)
-		h := fnv.New64a()
-		h.Write([]byte(domain))
-		var buf [8]byte
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(seq >> (8 * i))
+		// Inline FNV-1a over domain || seq (little-endian), identical to
+		// hashing through hash/fnv but without the hasher allocation or
+		// the string-to-bytes conversion on every dial.
+		h := uint64(fnvOffset64)
+		for i := 0; i < len(domain); i++ {
+			h ^= uint64(domain[i])
+			h *= fnvPrime64
 		}
-		h.Write(buf[:])
+		for i := 0; i < 8; i++ {
+			h ^= uint64(byte(seq >> (8 * i)))
+			h *= fnvPrime64
+		}
 		// FNV's low bits alternate for consecutive sequence numbers; run the
 		// sum through a 64-bit finalizer so back-to-back dials pick
 		// independently.
-		idx = int(mix64(h.Sum64()) % uint64(len(b.backends)))
+		idx = int(mix64(h) % uint64(len(b.backends)))
 	}
 	ep := b.backends[idx]
 	if tel != nil {
 		// The backend multiset per domain is worker-count-invariant (the
 		// per-domain dial sequence or, under a plan, the probe label keys
 		// the choice), so these counters are deterministic metrics.
-		tel.Counter("simnet/backend/" + strconv.Itoa(idx)).Inc()
+		tel.Counter(backendCounterName(idx)).Inc()
 	}
 	if f := plan.Decide(domain, label, idx, seq); f.Kind != faults.None {
 		if tel != nil {
@@ -232,6 +236,28 @@ func (c *resetConn) Write(p []byte) (int, error) {
 // DialCount returns the number of connections opened so far — the
 // campaign benchmarks divide it by wall time for handshakes/sec.
 func (n *Net) DialCount() uint64 { return n.dials.Load() }
+
+// FNV-1a 64-bit parameters (hash/fnv's constants, inlined on the dial
+// path).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// backendCounterNames pre-renders the per-backend telemetry counter names
+// for the small backend counts the population uses; dial is hot and a
+// string concatenation per call is measurable.
+var backendCounterNames = [8]string{
+	"simnet/backend/0", "simnet/backend/1", "simnet/backend/2", "simnet/backend/3",
+	"simnet/backend/4", "simnet/backend/5", "simnet/backend/6", "simnet/backend/7",
+}
+
+func backendCounterName(idx int) string {
+	if idx >= 0 && idx < len(backendCounterNames) {
+		return backendCounterNames[idx]
+	}
+	return "simnet/backend/" + strconv.Itoa(idx)
+}
 
 // mix64 is the splitmix64 finalizer.
 func mix64(x uint64) uint64 {

@@ -1,0 +1,107 @@
+package study
+
+import (
+	"encoding/hex"
+	"sort"
+
+	"tlsshortcuts/internal/faults"
+	"tlsshortcuts/internal/scanner"
+	"tlsshortcuts/internal/wire"
+)
+
+// failKey is one (scan, class) cell of the running failure tally.
+type failKey struct {
+	scan  string
+	class faults.ErrClass
+}
+
+// aggregator folds scan results into the Dataset as they are produced,
+// so a campaign retains only per-domain aggregates — secret-ID day
+// bitmasks, failure tallies, attendance records — instead of per-day
+// observation slices. Resident memory is O(domains), not O(domains ×
+// days): each day's Observation buffer is reused by the next day (see
+// Scanner.DailyInto), and everything BuildReport and the §6
+// vulnerability-window model need survives in the aggregates.
+type aggregator struct {
+	ds    *Dataset
+	fails map[failKey]int
+}
+
+func newAggregator(ds *Dataset) *aggregator {
+	return &aggregator{ds: ds, fails: make(map[failKey]int)}
+}
+
+// addFail tallies one failed connection; ClassNone (success) is ignored
+// so call sites can pass classifications through unconditionally.
+func (a *aggregator) addFail(scan string, c faults.ErrClass) {
+	if c != faults.ClassNone {
+		a.fails[failKey{scan, c}]++
+	}
+}
+
+// foldLifetime accounts a lifetime-probe pass's initial-handshake
+// failures under the given scan name.
+func (a *aggregator) foldLifetime(scan string, prs []scanner.ProbeResult) {
+	for _, pr := range prs {
+		a.addFail(scan, pr.ErrClass)
+	}
+}
+
+// foldTicketDay folds one day's two-connection ticket scan: STEK span
+// bitmasks, the attendance record behind the consistent core, and the
+// failure taxonomy. It returns the day's (first-connection, pair)
+// failure counts for span tracing.
+func (a *aggregator) foldTicketDay(obs []scanner.Observation, day int) (dayFails, pairFails int) {
+	for _, ob := range obs {
+		if ob.ErrClass != faults.ClassNone {
+			a.addFail("ticket", ob.ErrClass)
+			missDay(a.ds, ob.Domain, day)
+			dayFails++
+		}
+		a.addFail("ticket-pair", ob.ErrClass2)
+		if ob.ErrClass2 != faults.ClassNone {
+			pairFails++
+		}
+		if ob.OK && ob.Trusted && len(ob.STEKID) > 0 {
+			mark(a.ds.STEKSpans, ob.Domain, hex.EncodeToString(ob.STEKID), day)
+		}
+	}
+	return dayFails, pairFails
+}
+
+// foldKexDay folds one day's forced-suite key-exchange scan into the
+// given span map. Only transient first-connection classes count as
+// failures: a forced-suite alert from a server that does not speak the
+// suite is a measurement, not a failure.
+func (a *aggregator) foldKexDay(obs []scanner.Observation, scan string, kex wire.Kex, spans map[string]map[string]uint64, day int) (dayFails, pairFails int) {
+	for _, ob := range obs {
+		if faults.Transient(ob.ErrClass) {
+			a.addFail(scan, ob.ErrClass)
+			dayFails++
+		}
+		a.addFail(scan+"-pair", ob.ErrClass2)
+		if ob.ErrClass2 != faults.ClassNone {
+			pairFails++
+		}
+		if ob.OK && ob.Kex == kex && len(ob.KEXValue) > 0 {
+			mark(spans, ob.Domain, valueID(ob.KEXValue), day)
+		}
+	}
+	return dayFails, pairFails
+}
+
+// finish materializes the failure tally as the Dataset's sorted table.
+func (a *aggregator) finish() {
+	if len(a.fails) == 0 {
+		return
+	}
+	for k, n := range a.fails {
+		a.ds.Failures = append(a.ds.Failures, FailureCount{Scan: k.scan, Class: string(k.class), Count: n})
+	}
+	sort.Slice(a.ds.Failures, func(i, j int) bool {
+		if a.ds.Failures[i].Scan != a.ds.Failures[j].Scan {
+			return a.ds.Failures[i].Scan < a.ds.Failures[j].Scan
+		}
+		return a.ds.Failures[i].Class < a.ds.Failures[j].Class
+	})
+}

@@ -1,0 +1,218 @@
+package study
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"tlsshortcuts/internal/faults"
+	"tlsshortcuts/internal/scanner"
+)
+
+// MergeDatasets recombines a complete set of shard datasets — one Run
+// per ShardSpec{i, N} for i in [0, N) over the same campaign options —
+// into a dataset byte-identical (as JSON) to the monolithic Run's.
+//
+// Identity holds because every per-domain field is computed from that
+// domain's own probes (entropy, fault decisions, and backend choice are
+// keyed on the domain, never on global dial order), each domain belongs
+// to exactly one shard, and every cross-shard structure is either a sum
+// (snapshots, failure tallies, XD denominators), a disjoint union
+// (span maps, missed days), an order-canonicalized sort (lifetime rows
+// by rank, failure rows by scan/class), or a union-find closure whose
+// edges are fully owned by the initiating domain's shard (cache groups).
+// The groups derived purely from spans (STEK/DH groups) are simply
+// recomputed from the merged spans with the same functions Run uses.
+func MergeDatasets(shards ...*Dataset) (*Dataset, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("study: merge needs at least one shard")
+	}
+	ordered := make([]*Dataset, len(shards))
+	for _, sd := range shards {
+		if sd == nil {
+			return nil, fmt.Errorf("study: merge: nil shard dataset")
+		}
+		if sd.Shard == nil {
+			return nil, fmt.Errorf("study: merge: dataset has no shard spec (monolithic?)")
+		}
+		if err := sd.Shard.Validate(); err != nil {
+			return nil, err
+		}
+		if sd.Shard.Count != len(shards) {
+			return nil, fmt.Errorf("study: merge: got %d shards but spec says %d",
+				len(shards), sd.Shard.Count)
+		}
+		if ordered[sd.Shard.Index] != nil {
+			return nil, fmt.Errorf("study: merge: duplicate shard index %d", sd.Shard.Index)
+		}
+		ordered[sd.Shard.Index] = sd
+	}
+
+	first := ordered[0]
+	for _, sd := range ordered[1:] {
+		if err := compatibleShards(first, sd); err != nil {
+			return nil, err
+		}
+	}
+
+	out := &Dataset{
+		ListSize:    first.ListSize,
+		Days:        first.Days,
+		Seed:        first.Seed,
+		ScaleFactor: first.ScaleFactor,
+		TrustedCore: first.TrustedCore,
+		Operators:   first.Operators,
+		Ranks:       first.Ranks,
+		STEKSpans:   make(map[string]map[string]uint64),
+		DHESpans:    make(map[string]map[string]uint64),
+		ECDHESpans:  make(map[string]map[string]uint64),
+		FaultPlan:   first.FaultPlan,
+	}
+
+	fails := make(map[failKey]int)
+	var xd scanner.XDStats
+	xdSeen, xdMissing := 0, 0
+	for _, sd := range ordered {
+		out.TicketSnapshot = addSnapshot(out.TicketSnapshot, sd.TicketSnapshot)
+		out.DHESnapshot = addSnapshot(out.DHESnapshot, sd.DHESnapshot)
+		out.ECDHESnapshot = addSnapshot(out.ECDHESnapshot, sd.ECDHESnapshot)
+		if err := unionSpans(out.STEKSpans, sd.STEKSpans, sd.Shard.Index, "STEK"); err != nil {
+			return nil, err
+		}
+		if err := unionSpans(out.DHESpans, sd.DHESpans, sd.Shard.Index, "DHE"); err != nil {
+			return nil, err
+		}
+		if err := unionSpans(out.ECDHESpans, sd.ECDHESpans, sd.Shard.Index, "ECDHE"); err != nil {
+			return nil, err
+		}
+		for domain, mask := range sd.MissedDays {
+			if out.MissedDays == nil {
+				out.MissedDays = make(map[string]uint64)
+			}
+			if _, dup := out.MissedDays[domain]; dup {
+				return nil, fmt.Errorf("study: merge: domain %q missed days in two shards", domain)
+			}
+			out.MissedDays[domain] = mask
+		}
+		for _, fc := range sd.Failures {
+			fails[failKey{fc.Scan, faults.ErrClass(fc.Class)}] += fc.Count
+		}
+		out.IDLifetime = append(out.IDLifetime, sd.IDLifetime...)
+		out.TicketLifetime = append(out.TicketLifetime, sd.TicketLifetime...)
+		if sd.XDStats != nil {
+			xd.Probed += sd.XDStats.Probed
+			xd.Sessioned += sd.XDStats.Sessioned
+			xd.InitFailed += sd.XDStats.InitFailed
+			xd.ProbeFailed += sd.XDStats.ProbeFailed
+			xdSeen++
+		} else {
+			xdMissing++
+		}
+		out.Dials += sd.Dials
+	}
+
+	// Monolithic order for the lifetime tables is the trusted core's —
+	// rank ascending — and ranks are unique, so sorting the concatenated
+	// shard rows reproduces it exactly.
+	sortByRank(out.IDLifetime, out.Ranks)
+	sortByRank(out.TicketLifetime, out.Ranks)
+
+	if len(fails) > 0 {
+		a := &aggregator{ds: out, fails: fails}
+		a.finish()
+	}
+
+	// A shard run always records its XD denominators; the monolithic run
+	// records them only when some connection failed. Merge reproduces the
+	// monolithic condition.
+	if xdSeen > 0 && xdMissing > 0 && (xd.InitFailed > 0 || xd.ProbeFailed > 0) {
+		return nil, fmt.Errorf("study: merge: %d shard(s) missing XDStats while others report failures", xdMissing)
+	}
+	if xd.InitFailed > 0 || xd.ProbeFailed > 0 {
+		st := xd
+		out.XDStats = &st
+	}
+
+	// Cache groups: each shard reports the ≥2-member components of the
+	// edges its initiators own. Re-unioning those components as cliques
+	// reconstructs the monolithic connected components (singletons never
+	// appear in either output, so dropping them per-shard loses nothing).
+	uf := scanner.NewUnionFind()
+	for _, sd := range ordered {
+		for _, g := range sd.CacheGroups {
+			for i := 1; i < len(g); i++ {
+				uf.Union(g[0], g[i])
+			}
+		}
+	}
+	out.CacheGroups = multiSets(uf)
+	out.STEKGroups = secretGroups(out.STEKSpans)
+	out.DHGroups, out.DHSingleton = dhGroups(out.DHESpans, out.ECDHESpans)
+	return out, nil
+}
+
+// compatibleShards rejects shards from different campaigns: every
+// world-derived field must match the first shard's exactly.
+func compatibleShards(a, b *Dataset) error {
+	switch {
+	case a.ListSize != b.ListSize:
+		return fmt.Errorf("study: merge: ListSize mismatch (%d vs %d)", a.ListSize, b.ListSize)
+	case a.Days != b.Days:
+		return fmt.Errorf("study: merge: Days mismatch (%d vs %d)", a.Days, b.Days)
+	case a.Seed != b.Seed:
+		return fmt.Errorf("study: merge: Seed mismatch (%d vs %d)", a.Seed, b.Seed)
+	case a.ScaleFactor != b.ScaleFactor:
+		return fmt.Errorf("study: merge: ScaleFactor mismatch")
+	case len(a.TrustedCore) != len(b.TrustedCore):
+		return fmt.Errorf("study: merge: TrustedCore size mismatch")
+	case len(a.Ranks) != len(b.Ranks):
+		return fmt.Errorf("study: merge: Ranks size mismatch")
+	}
+	for i := range a.TrustedCore {
+		if a.TrustedCore[i] != b.TrustedCore[i] {
+			return fmt.Errorf("study: merge: TrustedCore differs at %d", i)
+		}
+	}
+	pa, err := json.Marshal(a.FaultPlan)
+	if err != nil {
+		return err
+	}
+	pb, err := json.Marshal(b.FaultPlan)
+	if err != nil {
+		return err
+	}
+	if string(pa) != string(pb) {
+		return fmt.Errorf("study: merge: fault plans differ")
+	}
+	return nil
+}
+
+// unionSpans moves one shard's span map into the merged map, rejecting
+// domains already claimed by another shard — complementary shards never
+// observe the same domain, so overlap means the inputs are not a
+// partition of one campaign.
+func unionSpans(dst, src map[string]map[string]uint64, shard int, kind string) error {
+	for domain, ids := range src {
+		if _, dup := dst[domain]; dup {
+			return fmt.Errorf("study: merge: %s spans for %q in two shards (second: shard %d)", kind, domain, shard)
+		}
+		dst[domain] = ids
+	}
+	return nil
+}
+
+func addSnapshot(a, b Snapshot) Snapshot {
+	return Snapshot{
+		Scanned:    a.Scanned + b.Scanned,
+		Trusted:    a.Trusted + b.Trusted,
+		Support:    a.Support + b.Support,
+		Reuse2x:    a.Reuse2x + b.Reuse2x,
+		PairFailed: a.PairFailed + b.PairFailed,
+	}
+}
+
+func sortByRank(prs []scanner.ProbeResult, ranks map[string]int) {
+	sort.Slice(prs, func(i, j int) bool {
+		return ranks[prs[i].Domain] < ranks[prs[j].Domain]
+	})
+}

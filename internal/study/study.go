@@ -61,6 +61,36 @@ type Options struct {
 	// pass). Tracing without a Telemetry registry uses a private one
 	// for span accounting; write errors are logged, never fatal.
 	Trace io.Writer
+
+	// Shard, when non-nil, restricts the campaign to one deterministic
+	// slice of the domain list (see ShardSpec). The world is still built
+	// in full — so ranks, operators, and per-domain server state are
+	// identical to the monolithic run's — but only the shard's domains
+	// are scanned. MergeDatasets recombines the shards' outputs into a
+	// dataset byte-identical to the monolithic campaign's.
+	Shard *ShardSpec
+}
+
+// ShardSpec names one slice of a sharded campaign: shard Index of Count
+// scans the domains at rank positions p with p % Count == Index. Every
+// connection's entropy, fault decision, and backend choice is keyed on
+// (domain, probe label) or on the domain's own dial sequence — never on
+// global dial order — so a domain's observations are identical whether
+// its shard runs alone or alongside the rest of the campaign.
+type ShardSpec struct {
+	Index int
+	Count int
+}
+
+// Validate rejects out-of-range shard coordinates.
+func (s *ShardSpec) Validate() error {
+	if s.Count < 1 {
+		return fmt.Errorf("study: shard count must be >= 1, got %d", s.Count)
+	}
+	if s.Index < 0 || s.Index >= s.Count {
+		return fmt.Errorf("study: shard index %d out of range [0,%d)", s.Index, s.Count)
+	}
+	return nil
 }
 
 func (o *Options) logf(format string, args ...interface{}) {
@@ -138,6 +168,11 @@ type Dataset struct {
 	// its connections failed.
 	XDStats *scanner.XDStats `json:",omitempty"`
 
+	// Shard identifies which slice of the campaign this dataset covers;
+	// nil for a monolithic run. MergeDatasets clears it, so a merged
+	// dataset serializes byte-identically to the monolithic one.
+	Shard *ShardSpec `json:",omitempty"`
+
 	// Dials counts the TLS connections the campaign made. It is run
 	// telemetry for benchmarks, not a measurement, so it stays out of the
 	// serialized dataset (which must be byte-stable for a given seed).
@@ -202,6 +237,29 @@ func Run(o Options) (*Dataset, error) {
 
 	core := world.TrustedCoreDomains()
 	all := allByRank(world)
+	// A sharded run scans only its round-robin slice of the (full,
+	// identically built) world; everything downstream of these two lists
+	// is per-domain, so the slice's results match the monolithic run's.
+	scanAll, scanCore := all, core
+	if o.Shard != nil {
+		if err := o.Shard.Validate(); err != nil {
+			return nil, err
+		}
+		scanAll = population.Shard(all, o.Shard.Index, o.Shard.Count)
+		member := make(map[string]bool, len(scanAll))
+		for _, d := range scanAll {
+			member[d] = true
+		}
+		kept := make([]string, 0, len(core)/o.Shard.Count+1)
+		for _, d := range core {
+			if member[d] {
+				kept = append(kept, d)
+			}
+		}
+		scanCore = kept
+		o.logf("shard %d/%d: %d of %d domains (%d of %d core)",
+			o.Shard.Index, o.Shard.Count, len(scanAll), len(all), len(scanCore), len(core))
+	}
 	ds := &Dataset{
 		ListSize:    o.ListSize,
 		Days:        o.Days,
@@ -217,6 +275,10 @@ func Run(o Options) (*Dataset, error) {
 	for name, d := range world.Domains {
 		ds.Operators[name] = d.Operator
 		ds.Ranks[name] = d.Rank
+	}
+	if o.Shard != nil {
+		spec := *o.Shard
+		ds.Shard = &spec
 	}
 
 	if !o.Faults.Zero() {
@@ -236,112 +298,67 @@ func Run(o Options) (*Dataset, error) {
 			fo.Refuse, fo.Reset, fo.Stall, fo.Flap, fo.Churn)
 	}
 
-	type failKey struct {
-		scan  string
-		class faults.ErrClass
-	}
-	fails := make(map[failKey]int)
-	addFail := func(scan string, c faults.ErrClass) {
-		if c != faults.ClassNone {
-			fails[failKey{scan, c}]++
-		}
-	}
+	agg := newAggregator(ds)
 
 	// Session-lifetime probes (Figures 1-2) run first, in lockstep
 	// virtual time from the campaign start.
-	o.logf("lifetime probes: session IDs (%d domains)", len(core))
+	o.logf("lifetime probes: session IDs (%d domains)", len(scanCore))
 	sp.begin()
-	ds.IDLifetime = scan.LifetimeProbe(core, false, 15*time.Minute, 30*time.Hour)
-	sp.end("lifetime-id", -1, len(core), probeFails(ds.IDLifetime), 0)
+	ds.IDLifetime = scan.LifetimeProbe(scanCore, false, 15*time.Minute, 30*time.Hour)
+	sp.end("lifetime-id", -1, len(scanCore), probeFails(ds.IDLifetime), 0)
 	o.logf("lifetime probes: tickets")
 	sp.begin()
-	ds.TicketLifetime = scan.LifetimeProbe(core, true, time.Hour, 36*time.Hour)
-	sp.end("lifetime-ticket", -1, len(core), probeFails(ds.TicketLifetime), 0)
-	for _, pr := range ds.IDLifetime {
-		addFail("lifetime-id", pr.ErrClass)
-	}
-	for _, pr := range ds.TicketLifetime {
-		addFail("lifetime-ticket", pr.ErrClass)
-	}
+	ds.TicketLifetime = scan.LifetimeProbe(scanCore, true, time.Hour, 36*time.Hour)
+	sp.end("lifetime-ticket", -1, len(scanCore), probeFails(ds.TicketLifetime), 0)
+	agg.foldLifetime("lifetime-id", ds.IDLifetime)
+	agg.foldLifetime("lifetime-ticket", ds.TicketLifetime)
 
-	// Daily scans.
+	// Daily scans, folded into per-domain aggregates as each day
+	// completes. The three observation buffers are reused across the
+	// whole campaign, so the daily loop's resident memory is O(domains)
+	// regardless of Days.
+	var tBuf, dBuf, eBuf []scanner.Observation
 	for day := 0; day < o.Days; day++ {
 		clock.Set(start.Add(time.Duration(day) * 24 * time.Hour))
 		sp.begin()
-		dayFails, pairFails := 0, 0
-		tObs := scan.Daily(all, day, nil, true)
-		dObs := scan.Daily(core, day, []uint16{wire.SuiteDHE}, false)
-		eObs := scan.Daily(core, day, []uint16{wire.SuiteECDHE}, false)
+		tBuf = scan.DailyInto(tBuf, scanAll, day, nil, true)
+		dBuf = scan.DailyInto(dBuf, scanCore, day, []uint16{wire.SuiteDHE}, false)
+		eBuf = scan.DailyInto(eBuf, scanCore, day, []uint16{wire.SuiteECDHE}, false)
 		if day == 0 {
-			ds.TicketSnapshot = ticketSnapshot(tObs)
-			ds.DHESnapshot = kexSnapshot(dObs, wire.KexDHE)
-			ds.ECDHESnapshot = kexSnapshot(eObs, wire.KexECDHE)
+			ds.TicketSnapshot = ticketSnapshot(tBuf)
+			ds.DHESnapshot = kexSnapshot(dBuf, wire.KexDHE)
+			ds.ECDHESnapshot = kexSnapshot(eBuf, wire.KexECDHE)
 		}
-		for _, ob := range tObs {
-			if ob.ErrClass != faults.ClassNone {
-				addFail("ticket", ob.ErrClass)
-				missDay(ds, ob.Domain, day)
-				dayFails++
-			}
-			addFail("ticket-pair", ob.ErrClass2)
-			if ob.ErrClass2 != faults.ClassNone {
-				pairFails++
-			}
-			if ob.OK && ob.Trusted && len(ob.STEKID) > 0 {
-				mark(ds.STEKSpans, ob.Domain, hex.EncodeToString(ob.STEKID), day)
-			}
-		}
-		for _, ob := range dObs {
-			if faults.Transient(ob.ErrClass) {
-				addFail("dhe", ob.ErrClass)
-				dayFails++
-			}
-			addFail("dhe-pair", ob.ErrClass2)
-			if ob.ErrClass2 != faults.ClassNone {
-				pairFails++
-			}
-			if ob.OK && ob.Kex == wire.KexDHE && len(ob.KEXValue) > 0 {
-				mark(ds.DHESpans, ob.Domain, valueID(ob.KEXValue), day)
-			}
-		}
-		for _, ob := range eObs {
-			if faults.Transient(ob.ErrClass) {
-				addFail("ecdhe", ob.ErrClass)
-				dayFails++
-			}
-			addFail("ecdhe-pair", ob.ErrClass2)
-			if ob.ErrClass2 != faults.ClassNone {
-				pairFails++
-			}
-			if ob.OK && ob.Kex == wire.KexECDHE && len(ob.KEXValue) > 0 {
-				mark(ds.ECDHESpans, ob.Domain, valueID(ob.KEXValue), day)
-			}
-		}
+		dayFails, pairFails := agg.foldTicketDay(tBuf, day)
+		df, pf := agg.foldKexDay(dBuf, "dhe", wire.KexDHE, ds.DHESpans, day)
+		dayFails, pairFails = dayFails+df, pairFails+pf
+		df, pf = agg.foldKexDay(eBuf, "ecdhe", wire.KexECDHE, ds.ECDHESpans, day)
+		dayFails, pairFails = dayFails+df, pairFails+pf
 		reg.Counter(telemetry.CounterDaysCompleted).Inc()
-		sp.end("day", day, len(all), dayFails, pairFails)
+		sp.end("day", day, len(scanAll), dayFails, pairFails)
 		o.logf("day %d/%d scanned", day+1, o.Days)
 	}
-	if len(fails) > 0 {
-		for k, n := range fails {
-			ds.Failures = append(ds.Failures, FailureCount{Scan: k.scan, Class: string(k.class), Count: n})
-		}
-		sort.Slice(ds.Failures, func(i, j int) bool {
-			if ds.Failures[i].Scan != ds.Failures[j].Scan {
-				return ds.Failures[i].Scan < ds.Failures[j].Scan
-			}
-			return ds.Failures[i].Class < ds.Failures[j].Class
-		})
-	}
+	agg.finish()
 
-	// Grouping passes (§5).
+	// Grouping passes (§5). A shard initiates only from its own core
+	// slice but probes candidates against the FULL core, so every edge
+	// whose initiator the shard owns is discovered exactly as in the
+	// monolithic run.
 	o.logf("cross-domain cache probes (budget 5+5)")
 	sp.begin()
-	uf, xd := scan.CrossDomainGroups(core, world.Net, 5, 5)
-	sp.end("cross-domain", -1, len(core), xd.InitFailed, xd.ProbeFailed)
+	uf, xd := scan.CrossDomainGroupsIn(scanCore, core, world.Net, 5, 5)
+	sp.end("cross-domain", -1, len(scanCore), xd.InitFailed, xd.ProbeFailed)
 	if xd.InitFailed > 0 || xd.ProbeFailed > 0 {
 		ds.XDStats = &xd
 		o.logf("cross-domain: %d/%d sessioned, %d init + %d probe connections failed",
 			xd.Sessioned, xd.Probed, xd.InitFailed, xd.ProbeFailed)
+	} else if o.Shard != nil {
+		// A shard always carries its denominators: a clean shard's
+		// Probed/Sessioned counts are needed to reconstruct the
+		// monolithic XDStats if any sibling shard saw failures.
+		// MergeDatasets drops the merged stats when no shard failed, so
+		// the merged JSON still matches the monolithic run's.
+		ds.XDStats = &xd
 	}
 	ds.CacheGroups = multiSets(uf)
 	ds.STEKGroups = secretGroups(ds.STEKSpans)

@@ -364,6 +364,64 @@ func (s *Snapshot) MergeHistograms(prefix string) HistogramSnapshot {
 	return out
 }
 
+// MergeSnapshots sums per-shard telemetry snapshots into one
+// campaign-wide view: counters add, histograms combine bucket-by-bucket
+// (the fixed ladder makes buckets from different runs directly
+// comparable — the same alignment MergeHistograms relies on), Max takes
+// the largest shard's. Merging a single snapshot returns a deep copy.
+func MergeSnapshots(shards ...*Snapshot) *Snapshot {
+	out := &Snapshot{
+		Counters:   map[string]uint64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	for _, s := range shards {
+		if s == nil {
+			continue
+		}
+		for name, v := range s.Counters {
+			out.Counters[name] += v
+		}
+		for name, h := range s.Histograms {
+			out.Histograms[name] = addHistogramSnapshots(out.Histograms[name], h)
+		}
+	}
+	return out
+}
+
+// addHistogramSnapshots combines two snapshots of the shared bucket
+// ladder, preserving ascending bound order with overflow (-1) last.
+func addHistogramSnapshots(a, b HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{
+		Count: a.Count + b.Count,
+		Sum:   a.Sum + b.Sum,
+		Max:   a.Max,
+	}
+	if b.Max > out.Max {
+		out.Max = b.Max
+	}
+	byLE := map[time.Duration]uint64{}
+	for _, bc := range a.Buckets {
+		byLE[bc.LE] += bc.N
+	}
+	for _, bc := range b.Buckets {
+		byLE[bc.LE] += bc.N
+	}
+	for le, n := range byLE {
+		out.Buckets = append(out.Buckets, BucketCount{LE: le, N: n})
+	}
+	sort.Slice(out.Buckets, func(i, j int) bool {
+		x, y := out.Buckets[i].LE, out.Buckets[j].LE
+		if x < 0 {
+			return false
+		}
+		if y < 0 {
+			return true
+		}
+		return x < y
+	})
+	return out
+}
+
 // Render formats the snapshot for humans: counters then histograms,
 // keys sorted, columns aligned, each line indented two spaces. The
 // output is deterministic for a given snapshot regardless of map

@@ -247,3 +247,37 @@ func TestRenderDeterministic(t *testing.T) {
 		t.Fatalf("keys not sorted:\n%s", first)
 	}
 }
+
+// TestMergeSnapshots pins the shard-merge semantics: counters sum,
+// histogram buckets align on the shared ladder (the same alignment
+// MergeHistograms depends on), Max takes the largest shard's, and the
+// merged snapshot feeds MergeHistograms exactly like a monolithic one.
+func TestMergeSnapshots(t *testing.T) {
+	mk := func(obs ...time.Duration) *Snapshot {
+		r := NewRegistry()
+		for _, d := range obs {
+			r.Counter("scanner/probes").Inc()
+			r.Histogram("scanner/vlatency/daily|ticket").Observe(d)
+		}
+		return r.Snapshot()
+	}
+	a := mk(2*time.Microsecond, 10*time.Millisecond)
+	b := mk(3*time.Microsecond, time.Hour*100) // overflow bucket
+	mono := mk(2*time.Microsecond, 10*time.Millisecond, 3*time.Microsecond, time.Hour*100)
+
+	m := MergeSnapshots(a, b, nil)
+	if got := m.Counters["scanner/probes"]; got != 4 {
+		t.Fatalf("merged counter = %d, want 4", got)
+	}
+	mh := m.Histograms["scanner/vlatency/daily|ticket"]
+	wh := mono.Histograms["scanner/vlatency/daily|ticket"]
+	if !reflect.DeepEqual(mh, wh) {
+		t.Fatalf("merged histogram differs from monolithic:\n  got  %+v\n  want %+v", mh, wh)
+	}
+	if mh.Buckets[len(mh.Buckets)-1].LE != -1 {
+		t.Fatalf("overflow bucket must sort last: %+v", mh.Buckets)
+	}
+	if got, want := m.MergeHistograms("scanner/vlatency/"), mono.MergeHistograms("scanner/vlatency/"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("MergeHistograms over merged snapshot differs:\n  got  %+v\n  want %+v", got, want)
+	}
+}

@@ -132,26 +132,28 @@ func (k *STEK) header() []byte {
 }
 
 // Seal encrypts-then-MACs state into a ticket, drawing the IV from rand.
+// The ticket is assembled in its final buffer — IV read into place,
+// CBC encryption in place over the marshaled state — so a seal costs one
+// output allocation plus the state marshal.
 func (k *STEK) Seal(st *session.State, rand io.Reader) ([]byte, error) {
+	k.init()
 	plain := st.Marshal()
 	// PKCS#7 pad to the AES block size.
 	pad := aes.BlockSize - len(plain)%aes.BlockSize
 	for i := 0; i < pad; i++ {
 		plain = append(plain, byte(pad))
 	}
-	iv := make([]byte, aes.BlockSize)
+	out := make([]byte, 0, len(k.hdr)+aes.BlockSize+2+len(plain)+sha256.Size)
+	out = append(out, k.hdr...)
+	iv := out[len(out) : len(out)+aes.BlockSize]
 	if _, err := io.ReadFull(rand, iv); err != nil {
 		return nil, err
 	}
-	k.init()
-	enc := make([]byte, len(plain))
-	cipher.NewCBCEncrypter(k.block, iv).CryptBlocks(enc, plain)
-
-	out := make([]byte, 0, len(k.hdr)+aes.BlockSize+2+len(enc)+sha256.Size)
-	out = append(out, k.hdr...)
-	out = append(out, iv...)
-	out = binary.BigEndian.AppendUint16(out, uint16(len(enc)))
-	out = append(out, enc...)
+	out = out[:len(out)+aes.BlockSize]
+	out = binary.BigEndian.AppendUint16(out, uint16(len(plain)))
+	encStart := len(out)
+	out = append(out, plain...)
+	cipher.NewCBCEncrypter(k.block, iv).CryptBlocks(out[encStart:], out[encStart:])
 	return k.macSum(out, out), nil
 }
 
@@ -248,16 +250,20 @@ type Manager interface {
 
 // Static is a never-rotated key — the paper's most damning finding (4.9%
 // of trusted domains reused one STEK for the full measurement period).
-type Static struct{ key *STEK }
+type Static struct {
+	key  *STEK
+	keys []*STEK // the single-element ActiveKeys result, built once
+}
 
 // NewStatic builds a static manager from seed material.
 func NewStatic(seed []byte, f Format) *Static {
-	return &Static{key: Derive(seed, f)}
+	k := Derive(seed, f)
+	return &Static{key: k, keys: []*STEK{k}}
 }
 
 func (s *Static) IssuingKey(time.Time) *STEK { return s.key }
 func (s *Static) ActiveKeys(time.Time) []*STEK {
-	return []*STEK{s.key}
+	return s.keys
 }
 func (s *Static) LookupKey(tkt []byte, _ time.Time) *STEK {
 	if s.key.Open(tkt) != nil {
@@ -282,8 +288,9 @@ type Rotating struct {
 	AcceptPrevious int
 	Format         Format
 
-	mu    sync.Mutex
-	cache map[int64]*STEK
+	mu        sync.Mutex
+	cache     map[int64]*STEK
+	keysCache map[int64][]*STEK // epoch -> frozen ActiveKeys result
 
 	// lastIssued is 1 + the epoch of the most recent IssuingKey call
 	// (0 = none yet), so consecutive issues under different epochs —
@@ -334,10 +341,22 @@ func (r *Rotating) IssuingKey(now time.Time) *STEK {
 
 func (r *Rotating) ActiveKeys(now time.Time) []*STEK {
 	e := r.epoch(now)
+	r.mu.Lock()
+	if out, ok := r.keysCache[e]; ok {
+		r.mu.Unlock()
+		return out
+	}
+	r.mu.Unlock()
 	out := []*STEK{r.key(e)}
 	for i := int64(1); i <= int64(r.AcceptPrevious) && e-i >= 0; i++ {
 		out = append(out, r.key(e-i))
 	}
+	r.mu.Lock()
+	if r.keysCache == nil {
+		r.keysCache = make(map[int64][]*STEK)
+	}
+	r.keysCache[e] = out
+	r.mu.Unlock()
 	return out
 }
 

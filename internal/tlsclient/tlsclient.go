@@ -99,6 +99,10 @@ type Capture struct {
 	ServerKEXValue []byte
 	SessionID      []byte
 
+	// serverRandom backs ServerRandom so the Capture owns the bytes
+	// outright instead of pinning a parsed ServerHello.
+	serverRandom [32]byte
+
 	TicketIssued bool
 	Ticket       []byte // raw issued ticket
 	STEKID       []byte // best-effort single-ticket key ID
@@ -126,25 +130,64 @@ func (c *Config) rand() io.Reader {
 	return crand.Reader
 }
 
+// hsConn is one connection's handshake state. Instances are pooled: the
+// record layer, transcript hash, PRF expander, and the fixed scratch
+// arrays all reset cheaply between connections. buf is the exception —
+// parsed results retained past the handshake (session IDs, tickets,
+// chains, KEX values) alias it, so each connection gets a fresh one and
+// ownership passes to whatever Capture holds the sub-slices.
 type hsConn struct {
-	rc   *record.Conn
+	rc   record.Conn
 	buf  []byte
 	hash hash.Hash // running transcript digest
+	ex   prf.Expander
+	mbuf []byte // outgoing handshake-message marshal scratch
+	sp   []byte // SKE signed-params scratch
+	// Per-connection hello structs, reused across pooled connections.
+	// Nothing that outlives the handshake aliases them: the Capture
+	// copies the server random it retains, and its other retained fields
+	// alias buf (fresh per connection), never these structs.
+	ch wire.ClientHello
+	sh wire.ServerHello
+	// Fixed-size derivation scratch. The PRF appends whole 32-byte
+	// blocks before truncating, so capacities round up to a block.
+	seed   [64]byte // client_random || server_random (either order)
+	kb     [64]byte // key block (40 bytes used)
+	master [64]byte // master secret (48 bytes used; copied into Session)
+	fin    [32]byte // Finished verify_data (12 bytes used)
+	pre    [32]byte // transcript digest
 }
 
-// transcript returns the hash of the handshake messages so far. Sum does
-// not disturb the running state, so no copy of the digest is needed.
+var hsPool = sync.Pool{New: func() any { return &hsConn{hash: sha256.New()} }}
+
+func getHsConn(conn net.Conn) *hsConn {
+	h := hsPool.Get().(*hsConn)
+	h.rc.Reset(conn)
+	h.hash.Reset()
+	// The previous connection's buf now belongs to its Capture; size the
+	// fresh one for a full server flight so it grows at most once.
+	h.buf = make([]byte, 0, 2048)
+	return h
+}
+
+// transcript returns the hash of the handshake messages so far, in the
+// connection's digest scratch (valid until the next transcript call).
 func (h *hsConn) transcript() []byte {
-	return h.hash.Sum(nil)
+	return h.hash.Sum(h.pre[:0])
 }
 
 func (h *hsConn) writeMsg(m *wire.Msg) error {
-	b := m.Marshal()
-	h.hash.Write(b)
-	return h.rc.WriteRecord(record.TypeHandshake, b)
+	h.mbuf = m.AppendTo(h.mbuf[:0])
+	return h.writeFramed(h.mbuf)
 }
 
-func (h *hsConn) readMsg() (*wire.Msg, bool, error) {
+// writeFramed sends an already-framed handshake message.
+func (h *hsConn) writeFramed(frame []byte) error {
+	h.hash.Write(frame)
+	return h.rc.WriteRecord(record.TypeHandshake, frame)
+}
+
+func (h *hsConn) readMsg() (wire.Msg, bool, error) {
 	for {
 		if len(h.buf) >= 4 {
 			n := int(h.buf[1])<<16 | int(h.buf[2])<<8 | int(h.buf[3])
@@ -152,40 +195,45 @@ func (h *hsConn) readMsg() (*wire.Msg, bool, error) {
 				raw := h.buf[:4+n]
 				h.buf = h.buf[4+n:]
 				h.hash.Write(raw)
-				return &wire.Msg{Type: raw[0], Body: raw[4:]}, false, nil
+				return wire.Msg{Type: raw[0], Body: raw[4:]}, false, nil
 			}
 		}
 		rec, err := h.rc.ReadRecord()
 		if err != nil {
-			return nil, false, err
+			return wire.Msg{}, false, err
 		}
 		switch rec.Type {
 		case record.TypeHandshake:
 			h.buf = append(h.buf, rec.Payload...)
 		case record.TypeChangeCipherSpec:
-			return nil, true, nil
+			return wire.Msg{}, true, nil
 		case record.TypeAlert:
 			if len(rec.Payload) == 2 {
-				return nil, false, &AlertError{Code: rec.Payload[1]}
+				return wire.Msg{}, false, &AlertError{Code: rec.Payload[1]}
 			}
-			return nil, false, errors.New("tls: malformed server alert")
+			return wire.Msg{}, false, errors.New("tls: malformed server alert")
 		default:
-			return nil, false, fmt.Errorf("tls: unexpected record type %d", rec.Type)
+			return wire.Msg{}, false, fmt.Errorf("tls: unexpected record type %d", rec.Type)
 		}
 	}
 }
 
+// defaultSuites is the offer when Config.Suites is nil.
+var defaultSuites = []uint16{wire.SuiteECDHE, wire.SuiteDHE}
+
 // Handshake performs one connection against conn. The returned Capture is
 // non-nil whenever a ServerHello was seen, even on later failure.
 func Handshake(conn net.Conn, cfg *Config) (*Capture, error) {
-	hc := &hsConn{rc: record.NewConn(conn), hash: sha256.New()}
+	hc := getHsConn(conn)
+	defer hsPool.Put(hc)
 	cap := &Capture{}
 
 	suites := cfg.Suites
 	if suites == nil {
-		suites = []uint16{wire.SuiteECDHE, wire.SuiteDHE}
+		suites = defaultSuites
 	}
-	ch := &wire.ClientHello{Suites: suites, ServerName: cfg.ServerName, OfferTicket: cfg.OfferTicket}
+	ch := &hc.ch
+	*ch = wire.ClientHello{Suites: suites, ServerName: cfg.ServerName, OfferTicket: cfg.OfferTicket}
 	if _, err := io.ReadFull(cfg.rand(), ch.Random[:]); err != nil {
 		return cap, err
 	}
@@ -197,7 +245,8 @@ func Handshake(conn net.Conn, cfg *Config) (*Capture, error) {
 			ch.SessionID = cfg.Resume.ID
 		}
 	}
-	if err := hc.writeMsg(ch.Marshal()); err != nil {
+	hc.mbuf = ch.AppendTo(hc.mbuf[:0])
+	if err := hc.writeFramed(hc.mbuf); err != nil {
 		return cap, err
 	}
 
@@ -208,13 +257,14 @@ func Handshake(conn net.Conn, cfg *Config) (*Capture, error) {
 	if msg.Type != wire.TypeServerHello {
 		return cap, fmt.Errorf("tls: expected ServerHello, got %d", msg.Type)
 	}
-	sh, err := wire.ParseServerHello(msg.Body)
-	if err != nil {
+	sh := &hc.sh
+	if err := wire.ParseServerHelloInto(sh, msg.Body); err != nil {
 		return cap, err
 	}
 	cap.CipherSuite = sh.Suite
 	cap.KexAlg = wire.SuiteKex(sh.Suite)
-	cap.ServerRandom = sh.Random[:]
+	cap.serverRandom = sh.Random
+	cap.ServerRandom = cap.serverRandom[:]
 	cap.SessionID = sh.SessionID
 
 	// What follows decides full versus abbreviated handshake: a
@@ -233,7 +283,7 @@ func Handshake(conn net.Conn, cfg *Config) (*Capture, error) {
 	return cap, finishFull(hc, cfg, cap, ch, sh, msg)
 }
 
-func finishFull(hc *hsConn, cfg *Config, cap *Capture, ch *wire.ClientHello, sh *wire.ServerHello, msg *wire.Msg) error {
+func finishFull(hc *hsConn, cfg *Config, cap *Capture, ch *wire.ClientHello, sh *wire.ServerHello, msg wire.Msg) error {
 	if msg.Type != wire.TypeCertificate {
 		return fmt.Errorf("tls: expected Certificate, got %d", msg.Type)
 	}
@@ -265,7 +315,7 @@ func finishFull(hc *hsConn, cfg *Config, cap *Capture, ch *wire.ClientHello, sh 
 		if cfg.KexOnly {
 			return nil
 		}
-		if err := verifySKE(chain, ske, ch.Random[:], sh.Random[:]); err != nil {
+		if err := verifySKE(hc, chain, ske, ch.Random[:], sh.Random[:]); err != nil {
 			return err
 		}
 		if kex == wire.KexECDHE {
@@ -321,12 +371,18 @@ func finishFull(hc *hsConn, cfg *Config, cap *Capture, ch *wire.ClientHello, sh 
 		return fmt.Errorf("tls: expected ServerHelloDone, got %d", msg.Type)
 	}
 
-	if err := hc.writeMsg(wire.MarshalCKE(kex, clientPub)); err != nil {
+	hc.mbuf = wire.AppendCKE(hc.mbuf[:0], kex, clientPub)
+	if err := hc.writeFramed(hc.mbuf); err != nil {
 		return err
 	}
-	master := prf.MasterSecret(premaster, ch.Random[:], sh.Random[:])
-	ex := prf.NewExpander(master)
-	kb := ex.PRF("key expansion", kbSeed(sh.Random[:], ch.Random[:]), 40)
+	// Master secret and key block, derived in the pooled expander and the
+	// connection's scratch (only the Session copy of the master survives).
+	hc.ex.SetSecret(premaster)
+	msSeed := append(append(hc.seed[:0], ch.Random[:]...), sh.Random[:]...)
+	master := hc.ex.AppendPRF(hc.master[:0], "master secret", msSeed, 48)
+	hc.ex.SetSecret(master)
+	kbs := append(append(hc.seed[:0], sh.Random[:]...), ch.Random[:]...)
+	kb := hc.ex.AppendPRF(hc.kb[:0], "key expansion", kbs, 40)
 
 	preFinished := hc.transcript()
 	if err := hc.rc.WriteRecord(record.TypeChangeCipherSpec, []byte{1}); err != nil {
@@ -335,8 +391,8 @@ func finishFull(hc *hsConn, cfg *Config, cap *Capture, ch *wire.ClientHello, sh 
 	if err := hc.rc.ArmWrite(kb[0:16], kb[32:36]); err != nil {
 		return err
 	}
-	fin := &wire.Msg{Type: wire.TypeFinished, Body: ex.PRF("client finished", preFinished, 12)}
-	if err := hc.writeMsg(fin); err != nil {
+	fin := wire.Msg{Type: wire.TypeFinished, Body: hc.ex.AppendPRF(hc.fin[:0], "client finished", preFinished, 12)}
+	if err := hc.writeMsg(&fin); err != nil {
 		return err
 	}
 
@@ -365,7 +421,7 @@ func finishFull(hc *hsConn, cfg *Config, cap *Capture, ch *wire.ClientHello, sh 
 	if err != nil {
 		return err
 	}
-	want := ex.PRF("server finished", preServer, 12)
+	want := hc.ex.AppendPRF(hc.fin[:0], "server finished", preServer, 12)
 	if msg.Type != wire.TypeFinished || !equal(msg.Body, want) {
 		return errors.New("tls: bad server Finished")
 	}
@@ -376,12 +432,13 @@ func finishFull(hc *hsConn, cfg *Config, cap *Capture, ch *wire.ClientHello, sh 
 	return appData(hc, cfg, cap)
 }
 
-func finishResumed(hc *hsConn, cfg *Config, cap *Capture, ch *wire.ClientHello, sh *wire.ServerHello, msg *wire.Msg, ccs bool) error {
+func finishResumed(hc *hsConn, cfg *Config, cap *Capture, ch *wire.ClientHello, sh *wire.ServerHello, msg wire.Msg, ccs bool) error {
 	cap.Resumed = true
 	cap.ResumedViaTicket = cfg.ResumeViaTicket
 	master := cfg.Resume.Master[:]
-	ex := prf.NewExpander(master)
-	kb := ex.PRF("key expansion", kbSeed(sh.Random[:], ch.Random[:]), 40)
+	hc.ex.SetSecret(master)
+	kbs := append(append(hc.seed[:0], sh.Random[:]...), ch.Random[:]...)
+	kb := hc.ex.AppendPRF(hc.kb[:0], "key expansion", kbs, 40)
 
 	if !ccs { // msg is NewSessionTicket (reissue)
 		if err := recordTicket(cap, msg); err != nil {
@@ -404,7 +461,7 @@ func finishResumed(hc *hsConn, cfg *Config, cap *Capture, ch *wire.ClientHello, 
 	if err != nil {
 		return err
 	}
-	want := ex.PRF("server finished", preServer, 12)
+	want := hc.ex.AppendPRF(hc.fin[:0], "server finished", preServer, 12)
 	if fin.Type != wire.TypeFinished || !equal(fin.Body, want) {
 		return errors.New("tls: bad server Finished on resumption")
 	}
@@ -416,8 +473,8 @@ func finishResumed(hc *hsConn, cfg *Config, cap *Capture, ch *wire.ClientHello, 
 	if err := hc.rc.ArmWrite(kb[0:16], kb[32:36]); err != nil {
 		return err
 	}
-	cfin := &wire.Msg{Type: wire.TypeFinished, Body: ex.PRF("client finished", preClient, 12)}
-	if err := hc.writeMsg(cfin); err != nil {
+	cfin := wire.Msg{Type: wire.TypeFinished, Body: hc.ex.AppendPRF(hc.fin[:0], "client finished", preClient, 12)}
+	if err := hc.writeMsg(&cfin); err != nil {
 		return err
 	}
 
@@ -431,7 +488,7 @@ func finishResumed(hc *hsConn, cfg *Config, cap *Capture, ch *wire.ClientHello, 
 	return appData(hc, cfg, cap)
 }
 
-func recordTicket(cap *Capture, msg *wire.Msg) error {
+func recordTicket(cap *Capture, msg wire.Msg) error {
 	nst, err := wire.ParseNewSessionTicket(msg.Body)
 	if err != nil {
 		return err
@@ -538,7 +595,7 @@ func parseLeaf(der []byte) (*x509.Certificate, error) {
 	return leaf, nil
 }
 
-func verifySKE(chain [][]byte, ske *wire.SKE, clientRandom, serverRandom []byte) error {
+func verifySKE(hc *hsConn, chain [][]byte, ske *wire.SKE, clientRandom, serverRandom []byte) error {
 	if len(chain) == 0 {
 		return errors.New("tls: no certificate to verify ServerKeyExchange")
 	}
@@ -546,7 +603,8 @@ func verifySKE(chain [][]byte, ske *wire.SKE, clientRandom, serverRandom []byte)
 	if err != nil {
 		return err
 	}
-	digest := sha256.Sum256(ske.SignedParams(clientRandom, serverRandom))
+	hc.sp = ske.AppendSignedParams(hc.sp[:0], clientRandom, serverRandom)
+	digest := sha256.Sum256(hc.sp)
 	switch pub := leaf.PublicKey.(type) {
 	case *ecdsa.PublicKey:
 		if !ecdsa.VerifyASN1(pub, digest[:], ske.Sig) {
@@ -558,14 +616,6 @@ func verifySKE(chain [][]byte, ske *wire.SKE, clientRandom, serverRandom []byte)
 		return errors.New("tls: unsupported server public key")
 	}
 	return nil
-}
-
-// kbSeed builds the key-expansion seed (server random first, RFC 5246
-// §6.3).
-func kbSeed(serverRandom, clientRandom []byte) []byte {
-	seed := make([]byte, 0, 64)
-	seed = append(seed, serverRandom...)
-	return append(seed, clientRandom...)
 }
 
 func equal(a, b []byte) bool {

@@ -111,21 +111,66 @@ func (c *Config) certFor(sni string) *pki.Certificate {
 }
 
 // hsConn couples the record layer with a handshake-message reader and the
-// running transcript hash.
+// running transcript hash. Instances are pooled and everything resets
+// cheaply between connections — including buf: unlike the client, the
+// server retains nothing that aliases it past the handshake (cache keys
+// are copied via string conversion, ticket state is decoded into fresh
+// session.State), so the accumulation buffer is reused too.
 type hsConn struct {
-	rc   *record.Conn
+	rc   record.Conn
 	buf  []byte
+	off  int       // consumed prefix of buf (keeps the base pointer pooled)
 	hash hash.Hash // running transcript digest
+	ex   prf.Expander
+	rng  drbg.Reader // per-connection deterministic entropy (RandSeed mode)
+	mbuf []byte      // outgoing handshake-message marshal scratch
+	sp   []byte      // SKE signed-params scratch
+	// Per-connection wire structs, reused across pooled connections;
+	// nothing that outlives the handshake aliases them (the session cache
+	// copies its key, session.State holds only values).
+	ch  wire.ClientHello
+	sh  wire.ServerHello
+	ske wire.SKE
+	sid [32]byte // session-ID scratch for sh.SessionID
+	// Fixed derivation scratch; capacities round up to PRF blocks.
+	seed   [64]byte // server_random || client_random
+	kb     [64]byte // key block (40 bytes used)
+	master [64]byte // master secret (48 bytes used; copied into State)
+	fin    [32]byte // Finished verify_data (12 bytes used)
+	pre    [32]byte // transcript digest
 }
 
-// transcript returns the hash of the handshake messages so far. Sum does
-// not disturb the running state, so no copy of the digest is needed.
+var hsPool = sync.Pool{New: func() any { return &hsConn{hash: sha256.New()} }}
+
+func getHsConn(conn net.Conn) *hsConn {
+	h := hsPool.Get().(*hsConn)
+	h.rc.Reset(conn)
+	h.hash.Reset()
+	h.buf = h.buf[:0]
+	h.off = 0
+	return h
+}
+
+// connRand is Config.connRand using the pooled connection's reader in
+// the deterministic RandSeed mode, so the per-connection stream costs no
+// allocation. The stream bytes are identical either way.
+func (h *hsConn) connRand(cfg *Config, clientRandom []byte) io.Reader {
+	if cfg.Rand == nil && cfg.RandSeed != nil {
+		h.rng.Reseed(cfg.RandSeed, clientRandom)
+		return &h.rng
+	}
+	return cfg.connRand(clientRandom)
+}
+
+// transcript returns the hash of the handshake messages so far, in the
+// connection's digest scratch (valid until the next transcript call).
 func (h *hsConn) transcript() []byte {
-	return h.hash.Sum(nil)
+	return h.hash.Sum(h.pre[:0])
 }
 
 func (h *hsConn) writeMsg(m *wire.Msg) error {
-	return h.writeRaw(m.Marshal())
+	h.mbuf = m.AppendTo(h.mbuf[:0])
+	return h.writeRaw(h.mbuf)
 }
 
 // writeRaw sends pre-marshaled handshake bytes (the cert-chain message is
@@ -137,30 +182,42 @@ func (h *hsConn) writeRaw(b []byte) error {
 
 // readMsg returns the next handshake message; ccs is true when a
 // ChangeCipherSpec record arrived instead.
-func (h *hsConn) readMsg() (m *wire.Msg, ccs bool, err error) {
+//
+// Contract: the returned Body (and anything parsed out of it — the
+// ClientHello's Ticket/SessionID, a CKE public) aliases the pooled buf
+// and is only valid until the next readMsg that pulls a handshake
+// record off the wire; consume aliased bytes before reading on.
+// (ClientHello.Random is a value array and survives.)
+func (h *hsConn) readMsg() (m wire.Msg, ccs bool, err error) {
 	for {
-		if len(h.buf) >= 4 {
-			n := int(h.buf[1])<<16 | int(h.buf[2])<<8 | int(h.buf[3])
-			if len(h.buf) >= 4+n {
-				raw := h.buf[:4+n]
-				h.buf = h.buf[4+n:]
+		if pend := h.buf[h.off:]; len(pend) >= 4 {
+			n := int(pend[1])<<16 | int(pend[2])<<8 | int(pend[3])
+			if len(pend) >= 4+n {
+				raw := pend[:4+n]
+				h.off += 4 + n
 				h.hash.Write(raw)
-				return &wire.Msg{Type: raw[0], Body: raw[4:]}, false, nil
+				return wire.Msg{Type: raw[0], Body: raw[4:]}, false, nil
 			}
 		}
 		rec, err := h.rc.ReadRecord()
 		if err != nil {
-			return nil, false, err
+			return wire.Msg{}, false, err
 		}
 		switch rec.Type {
 		case record.TypeHandshake:
+			if h.off == len(h.buf) {
+				// Fully consumed: rewind instead of appending past the
+				// dead prefix, so the pooled buffer's capacity survives.
+				h.buf = h.buf[:0]
+				h.off = 0
+			}
 			h.buf = append(h.buf, rec.Payload...)
 		case record.TypeChangeCipherSpec:
-			return nil, true, nil
+			return wire.Msg{}, true, nil
 		case record.TypeAlert:
-			return nil, false, alertError(rec.Payload)
+			return wire.Msg{}, false, alertError(rec.Payload)
 		default:
-			return nil, false, fmt.Errorf("tls: unexpected record type %d during handshake", rec.Type)
+			return wire.Msg{}, false, fmt.Errorf("tls: unexpected record type %d during handshake", rec.Type)
 		}
 	}
 }
@@ -175,13 +232,14 @@ func alertError(p []byte) error {
 // Serve runs one server-side connection to completion: handshake, then an
 // application-data echo loop until the peer closes.
 func Serve(conn net.Conn, cfg *Config) error {
-	hc := &hsConn{rc: record.NewConn(conn), hash: sha256.New()}
+	hc := getHsConn(conn)
+	defer hsPool.Put(hc)
 	st, err := handshake(hc, cfg)
 	if err != nil {
 		return err
 	}
 	_ = st
-	return appLoop(hc.rc, cfg)
+	return appLoop(&hc.rc, cfg)
 }
 
 func appLoop(rc *record.Conn, cfg *Config) error {
@@ -218,8 +276,8 @@ func handshake(hc *hsConn, cfg *Config) (*session.State, error) {
 	if msg.Type != wire.TypeClientHello {
 		return nil, fmt.Errorf("tls: expected ClientHello, got %d", msg.Type)
 	}
-	ch, err := wire.ParseClientHello(msg.Body)
-	if err != nil {
+	ch := &hc.ch
+	if err := wire.ParseClientHelloInto(ch, msg.Body); err != nil {
 		return nil, err
 	}
 	now := cfg.now()
@@ -275,30 +333,38 @@ func full(hc *hsConn, cfg *Config, ch *wire.ClientHello, now time.Time) (*sessio
 		hc.rc.WriteAlert(record.AlertHandshakeFailure)
 		return nil, errors.New("tls: no certificate configured")
 	}
-	rnd := cfg.connRand(ch.Random[:])
+	rnd := hc.connRand(cfg, ch.Random[:])
 
-	sh := &wire.ServerHello{Suite: suite}
+	sh := &hc.sh
+	*sh = wire.ServerHello{Suite: suite}
 	if _, err := io.ReadFull(rnd, sh.Random[:]); err != nil {
 		return nil, err
 	}
 	if cfg.Cache != nil {
-		sh.SessionID = make([]byte, 32)
+		// Scratch-backed: the cache copies its key, so nothing retains it.
+		sh.SessionID = hc.sid[:]
 		if _, err := io.ReadFull(rnd, sh.SessionID); err != nil {
 			return nil, err
 		}
 	}
 	issueTicket := cfg.Tickets != nil && ch.OfferTicket
 	sh.TicketAck = issueTicket
-	if err := hc.writeMsg(sh.Marshal()); err != nil {
+	hc.mbuf = sh.AppendTo(hc.mbuf[:0])
+	if err := hc.writeRaw(hc.mbuf); err != nil {
 		return nil, err
 	}
 	if err := hc.writeRaw(certMsgBytes(crt)); err != nil {
 		return nil, err
 	}
 
-	// ServerKeyExchange with the policy-selected ephemeral value.
-	var premasterFn func(clientPub []byte) ([]byte, error)
-	ske := &wire.SKE{Kex: wire.SuiteKex(suite)}
+	// ServerKeyExchange with the policy-selected ephemeral value. The
+	// private value is held in typed locals (not a closure) so the
+	// premaster computation after the CKE arrives allocates nothing extra.
+	var ecdhePriv *ecdh.PrivateKey
+	var dheGroup *ffdh.Group
+	var dhePriv *big.Int
+	ske := &hc.ske
+	*ske = wire.SKE{Kex: wire.SuiteKex(suite)}
 	switch ske.Kex {
 	case wire.KexECDHE:
 		priv, pub, err := keyex.ECDHEKeyPub(cfg.ECDHEPolicy, now, rnd)
@@ -306,13 +372,7 @@ func full(hc *hsConn, cfg *Config, ch *wire.ClientHello, now time.Time) (*sessio
 			return nil, err
 		}
 		ske.Public = pub
-		premasterFn = func(clientPub []byte) ([]byte, error) {
-			pk, err := ecdh.P256().NewPublicKey(clientPub)
-			if err != nil {
-				return nil, err
-			}
-			return priv.ECDH(pk)
-		}
+		ecdhePriv = priv
 	case wire.KexDHE:
 		g := ffdh.TestGroup512()
 		priv, pub, err := keyex.DHEKey(g, cfg.DHEPolicy, now, rnd)
@@ -321,23 +381,24 @@ func full(hc *hsConn, cfg *Config, ch *wire.ClientHello, now time.Time) (*sessio
 		}
 		ske.P, ske.G = g.ParamBytes()
 		ske.Public = pub
-		premasterFn = func(clientPub []byte) ([]byte, error) {
-			return g.Shared(priv, new(big.Int).SetBytes(clientPub))
-		}
+		dheGroup, dhePriv = g, priv
 	default:
 		hc.rc.WriteAlert(record.AlertHandshakeFailure)
 		return nil, fmt.Errorf("tls: unsupported key exchange for suite %04x", suite)
 	}
-	digest := sha256.Sum256(ske.SignedParams(ch.Random[:], sh.Random[:]))
+	hc.sp = ske.AppendSignedParams(hc.sp[:0], ch.Random[:], sh.Random[:])
+	digest := sha256.Sum256(hc.sp)
 	sig, err := crt.Key.Sign(rnd, digest[:], crypto.SHA256)
 	if err != nil {
 		return nil, err
 	}
 	ske.Sig = sig
-	if err := hc.writeMsg(ske.Marshal()); err != nil {
+	hc.mbuf = ske.AppendTo(hc.mbuf[:0])
+	if err := hc.writeRaw(hc.mbuf); err != nil {
 		return nil, err
 	}
-	if err := hc.writeMsg(&wire.Msg{Type: wire.TypeServerHelloDone}); err != nil {
+	done := wire.Msg{Type: wire.TypeServerHelloDone}
+	if err := hc.writeMsg(&done); err != nil {
 		return nil, err
 	}
 
@@ -353,16 +414,31 @@ func full(hc *hsConn, cfg *Config, ch *wire.ClientHello, now time.Time) (*sessio
 	if err != nil {
 		return nil, err
 	}
-	premaster, err := premasterFn(clientPub)
-	if err != nil {
-		return nil, err
+	var premaster []byte
+	if ecdhePriv != nil {
+		pk, err := ecdh.P256().NewPublicKey(clientPub)
+		if err != nil {
+			return nil, err
+		}
+		premaster, err = ecdhePriv.ECDH(pk)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		premaster, err = dheGroup.Shared(dhePriv, new(big.Int).SetBytes(clientPub))
+		if err != nil {
+			return nil, err
+		}
 	}
-	master := prf.MasterSecret(premaster, ch.Random[:], sh.Random[:])
-	ex := prf.NewExpander(master)
+	hc.ex.SetSecret(premaster)
+	msSeed := append(append(hc.seed[:0], ch.Random[:]...), sh.Random[:]...)
+	master := hc.ex.AppendPRF(hc.master[:0], "master secret", msSeed, 48)
+	hc.ex.SetSecret(master)
 
 	// Client CCS + Finished. Only the read direction is armed here: the
 	// NewSessionTicket must still go out in plaintext before our CCS.
-	kb := ex.PRF("key expansion", kbSeed(sh.Random[:], ch.Random[:]), 40)
+	kbs := append(append(hc.seed[:0], sh.Random[:]...), ch.Random[:]...)
+	kb := hc.ex.AppendPRF(hc.kb[:0], "key expansion", kbs, 40)
 	preFinished := hc.transcript()
 	if _, ccs, err := hc.readMsg(); err != nil {
 		return nil, err
@@ -376,7 +452,7 @@ func full(hc *hsConn, cfg *Config, ch *wire.ClientHello, now time.Time) (*sessio
 	if err != nil {
 		return nil, err
 	}
-	want := ex.PRF("client finished", preFinished, 12)
+	want := hc.ex.AppendPRF(hc.fin[:0], "client finished", preFinished, 12)
 	if fin.Type != wire.TypeFinished || !bytesEqual(fin.Body, want) {
 		hc.rc.WriteAlert(record.AlertHandshakeFailure)
 		return nil, errors.New("tls: bad client Finished")
@@ -393,7 +469,7 @@ func full(hc *hsConn, cfg *Config, ch *wire.ClientHello, now time.Time) (*sessio
 	if cfg.Cache != nil {
 		cfg.Cache.Put(sh.SessionID, st, now)
 	}
-	if err := finishServer(hc, ex, kb); err != nil {
+	if err := finishServer(hc, kb); err != nil {
 		return nil, err
 	}
 	return st, nil
@@ -401,14 +477,16 @@ func full(hc *hsConn, cfg *Config, ch *wire.ClientHello, now time.Time) (*sessio
 
 // resume completes an abbreviated handshake from cached/ticket state.
 func resume(hc *hsConn, cfg *Config, ch *wire.ClientHello, st *session.State, now time.Time) error {
-	rnd := cfg.connRand(ch.Random[:])
-	sh := &wire.ServerHello{Suite: st.Suite, SessionID: ch.SessionID}
+	rnd := hc.connRand(cfg, ch.Random[:])
+	sh := &hc.sh
+	*sh = wire.ServerHello{Suite: st.Suite, SessionID: ch.SessionID}
 	if _, err := io.ReadFull(rnd, sh.Random[:]); err != nil {
 		return err
 	}
 	reissue := cfg.Tickets != nil && ch.OfferTicket
 	sh.TicketAck = reissue
-	if err := hc.writeMsg(sh.Marshal()); err != nil {
+	hc.mbuf = sh.AppendTo(hc.mbuf[:0])
+	if err := hc.writeRaw(hc.mbuf); err != nil {
 		return err
 	}
 	if reissue {
@@ -416,18 +494,19 @@ func resume(hc *hsConn, cfg *Config, ch *wire.ClientHello, st *session.State, no
 			return err
 		}
 	}
-	ex := prf.NewExpander(st.MasterSecret[:])
+	hc.ex.SetSecret(st.MasterSecret[:])
 	// Server Finished first on resumption.
 	preFinished := hc.transcript()
 	if err := hc.rc.WriteRecord(record.TypeChangeCipherSpec, []byte{1}); err != nil {
 		return err
 	}
-	kb := ex.PRF("key expansion", kbSeed(sh.Random[:], ch.Random[:]), 40)
+	kbs := append(append(hc.seed[:0], sh.Random[:]...), ch.Random[:]...)
+	kb := hc.ex.AppendPRF(hc.kb[:0], "key expansion", kbs, 40)
 	if err := hc.rc.ArmWrite(kb[16:32], kb[36:40]); err != nil {
 		return err
 	}
-	finMsg := &wire.Msg{Type: wire.TypeFinished, Body: ex.PRF("server finished", preFinished, 12)}
-	if err := hc.writeMsg(finMsg); err != nil {
+	finMsg := wire.Msg{Type: wire.TypeFinished, Body: hc.ex.AppendPRF(hc.fin[:0], "server finished", preFinished, 12)}
+	if err := hc.writeMsg(&finMsg); err != nil {
 		return err
 	}
 	// Client CCS + Finished.
@@ -444,7 +523,7 @@ func resume(hc *hsConn, cfg *Config, ch *wire.ClientHello, st *session.State, no
 	if err != nil {
 		return err
 	}
-	want := ex.PRF("client finished", preClient, 12)
+	want := hc.ex.AppendPRF(hc.fin[:0], "client finished", preClient, 12)
 	if fin.Type != wire.TypeFinished || !bytesEqual(fin.Body, want) {
 		return errors.New("tls: bad client Finished on resumption")
 	}
@@ -461,11 +540,12 @@ func sendTicket(hc *hsConn, cfg *Config, st *session.State, now time.Time, rnd i
 	if hint == 0 {
 		hint = 2 * time.Hour
 	}
-	nst := &wire.NewSessionTicket{LifetimeHint: hint, Ticket: tkt}
-	return hc.writeMsg(nst.Marshal())
+	nst := wire.NewSessionTicket{LifetimeHint: hint, Ticket: tkt}
+	hc.mbuf = nst.AppendTo(hc.mbuf[:0])
+	return hc.writeRaw(hc.mbuf)
 }
 
-func finishServer(hc *hsConn, ex *prf.Expander, kb []byte) error {
+func finishServer(hc *hsConn, kb []byte) error {
 	preFinished := hc.transcript()
 	if err := hc.rc.WriteRecord(record.TypeChangeCipherSpec, []byte{1}); err != nil {
 		return err
@@ -473,16 +553,8 @@ func finishServer(hc *hsConn, ex *prf.Expander, kb []byte) error {
 	if err := hc.rc.ArmWrite(kb[16:32], kb[36:40]); err != nil {
 		return err
 	}
-	fin := &wire.Msg{Type: wire.TypeFinished, Body: ex.PRF("server finished", preFinished, 12)}
-	return hc.writeMsg(fin)
-}
-
-// kbSeed builds the key-expansion seed (server random first, RFC 5246
-// §6.3).
-func kbSeed(serverRandom, clientRandom []byte) []byte {
-	seed := make([]byte, 0, 64)
-	seed = append(seed, serverRandom...)
-	return append(seed, clientRandom...)
+	fin := wire.Msg{Type: wire.TypeFinished, Body: hc.ex.AppendPRF(hc.fin[:0], "server finished", preFinished, 12)}
+	return hc.writeMsg(&fin)
 }
 
 // certMsgCache memoizes the marshaled Certificate handshake message per

@@ -105,6 +105,15 @@ func (m *Msg) Marshal() []byte {
 	return out
 }
 
+// AppendTo appends the framed message (header plus body) to dst. The
+// engines marshal every handshake message into per-connection scratch
+// through the Append flavors; the Marshal forms remain for the attacker
+// and tests, where a fresh slice per message is the clearer API.
+func (m *Msg) AppendTo(dst []byte) []byte {
+	dst = append(dst, m.Type, byte(len(m.Body)>>16), byte(len(m.Body)>>8), byte(len(m.Body)))
+	return append(dst, m.Body...)
+}
+
 // ParseMsgs splits a concatenation of handshake messages.
 func ParseMsgs(b []byte) ([]Msg, error) {
 	var out []Msg
@@ -166,11 +175,57 @@ func (h *ClientHello) Marshal() *Msg {
 	return &Msg{Type: TypeClientHello, Body: b.bytes()}
 }
 
+// AppendTo appends the framed ClientHello, byte-identical to
+// Marshal().Marshal(), without the intermediate builders.
+func (h *ClientHello) AppendTo(dst []byte) []byte {
+	dst, msg := beginMsg(dst, TypeClientHello)
+	dst = binary.BigEndian.AppendUint16(dst, VersionTLS12)
+	dst = append(dst, h.Random[:]...)
+	dst = append(dst, byte(len(h.SessionID)))
+	dst = append(dst, h.SessionID...)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(2*len(h.Suites)))
+	for _, s := range h.Suites {
+		dst = binary.BigEndian.AppendUint16(dst, s)
+	}
+	dst = append(dst, 1, 0) // compression: null only
+	dst, exts := beginVec16(dst)
+	if h.ServerName != "" {
+		var ext, list, name int
+		dst = binary.BigEndian.AppendUint16(dst, ExtSNI)
+		dst, ext = beginVec16(dst)
+		dst, list = beginVec16(dst)
+		dst = append(dst, 0) // name_type: host_name
+		dst, name = beginVec16(dst)
+		dst = append(dst, h.ServerName...)
+		dst = endVec16(dst, name)
+		dst = endVec16(dst, list)
+		dst = endVec16(dst, ext)
+	}
+	if h.OfferTicket || len(h.Ticket) > 0 {
+		dst = binary.BigEndian.AppendUint16(dst, ExtSessionTicket)
+		dst = appendVec16(dst, h.Ticket)
+	}
+	dst = endVec16(dst, exts)
+	return endMsg(dst, msg)
+}
+
 func ParseClientHello(body []byte) (*ClientHello, error) {
-	p := &parser{b: body}
 	h := &ClientHello{}
+	if err := ParseClientHelloInto(h, body); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// ParseClientHelloInto parses into a caller-owned ClientHello, reusing
+// its Suites backing array. Terminators parse one ClientHello per
+// connection; with a pooled destination the parse allocates nothing but
+// the SNI string.
+func ParseClientHelloInto(h *ClientHello, body []byte) error {
+	p := &parser{b: body}
+	*h = ClientHello{Suites: h.Suites[:0]}
 	if p.u16() != VersionTLS12 {
-		return nil, fmt.Errorf("wire: bad client version")
+		return fmt.Errorf("wire: bad client version")
 	}
 	copy(h.Random[:], p.raw(32))
 	h.SessionID = p.vec8()
@@ -196,10 +251,7 @@ func ParseClientHello(body []byte) (*ClientHello, error) {
 			h.Ticket = data
 		}
 	}
-	if p.err != nil {
-		return nil, p.err
-	}
-	return h, nil
+	return p.err
 }
 
 // ---- ServerHello ----
@@ -227,11 +279,41 @@ func (h *ServerHello) Marshal() *Msg {
 	return &Msg{Type: TypeServerHello, Body: b.bytes()}
 }
 
+// AppendTo appends the framed ServerHello, byte-identical to
+// Marshal().Marshal().
+func (h *ServerHello) AppendTo(dst []byte) []byte {
+	dst, msg := beginMsg(dst, TypeServerHello)
+	dst = binary.BigEndian.AppendUint16(dst, VersionTLS12)
+	dst = append(dst, h.Random[:]...)
+	dst = append(dst, byte(len(h.SessionID)))
+	dst = append(dst, h.SessionID...)
+	dst = binary.BigEndian.AppendUint16(dst, h.Suite)
+	dst = append(dst, 0) // compression null
+	dst, exts := beginVec16(dst)
+	if h.TicketAck {
+		dst = binary.BigEndian.AppendUint16(dst, ExtSessionTicket)
+		dst = append(dst, 0, 0)
+	}
+	dst = endVec16(dst, exts)
+	return endMsg(dst, msg)
+}
+
 func ParseServerHello(body []byte) (*ServerHello, error) {
-	p := &parser{b: body}
 	h := &ServerHello{}
+	if err := ParseServerHelloInto(h, body); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// ParseServerHelloInto parses into a caller-owned ServerHello; with a
+// pooled destination the parse is allocation-free (SessionID aliases
+// body).
+func ParseServerHelloInto(h *ServerHello, body []byte) error {
+	p := &parser{b: body}
+	*h = ServerHello{}
 	if p.u16() != VersionTLS12 {
-		return nil, fmt.Errorf("wire: bad server version")
+		return fmt.Errorf("wire: bad server version")
 	}
 	copy(h.Random[:], p.raw(32))
 	h.SessionID = p.vec8()
@@ -246,10 +328,7 @@ func ParseServerHello(body []byte) (*ServerHello, error) {
 			h.TicketAck = true
 		}
 	}
-	if p.err != nil {
-		return nil, p.err
-	}
-	return h, nil
+	return p.err
 }
 
 // ---- Certificate ----
@@ -294,34 +373,46 @@ type SKE struct {
 	Sig    []byte
 }
 
-func (s *SKE) params() []byte {
-	b := newBuilder()
+func (s *SKE) appendParams(dst []byte) []byte {
 	if s.Kex == KexDHE {
-		b.vec16(s.P)
-		b.vec16(s.G)
-		b.vec16(s.Public)
-	} else {
-		b.byte(3) // named_curve
-		b.u16(23) // secp256r1
-		b.vec8(s.Public)
+		dst = appendVec16(dst, s.P)
+		dst = appendVec16(dst, s.G)
+		return appendVec16(dst, s.Public)
 	}
-	return b.bytes()
+	dst = append(dst, 3)                         // named_curve
+	dst = binary.BigEndian.AppendUint16(dst, 23) // secp256r1
+	dst = append(dst, byte(len(s.Public)))
+	return append(dst, s.Public...)
 }
 
 // SignedParams is the blob the server signs (and the client verifies).
 func (s *SKE) SignedParams(clientRandom, serverRandom []byte) []byte {
-	out := make([]byte, 0, 64+len(s.Public)+len(s.P)+len(s.G)+16)
-	out = append(out, clientRandom...)
-	out = append(out, serverRandom...)
-	return append(out, s.params()...)
+	return s.AppendSignedParams(make([]byte, 0, 64+len(s.Public)+len(s.P)+len(s.G)+16), clientRandom, serverRandom)
+}
+
+// AppendSignedParams appends the to-be-signed blob to dst.
+func (s *SKE) AppendSignedParams(dst, clientRandom, serverRandom []byte) []byte {
+	dst = append(dst, clientRandom...)
+	dst = append(dst, serverRandom...)
+	return s.appendParams(dst)
 }
 
 func (s *SKE) Marshal() *Msg {
 	b := newBuilder()
-	b.raw(s.params())
+	b.raw(s.appendParams(nil))
 	b.u16(0x0403) // ecdsa_secp256r1_sha256 (informational)
 	b.vec16(s.Sig)
 	return &Msg{Type: TypeServerKeyExchange, Body: b.bytes()}
+}
+
+// AppendTo appends the framed ServerKeyExchange, byte-identical to
+// Marshal().Marshal().
+func (s *SKE) AppendTo(dst []byte) []byte {
+	dst, msg := beginMsg(dst, TypeServerKeyExchange)
+	dst = s.appendParams(dst)
+	dst = binary.BigEndian.AppendUint16(dst, 0x0403)
+	dst = appendVec16(dst, s.Sig)
+	return endMsg(dst, msg)
 }
 
 func ParseSKE(kex Kex, body []byte) (*SKE, error) {
@@ -355,6 +446,18 @@ func MarshalCKE(kex Kex, public []byte) *Msg {
 	return &Msg{Type: TypeClientKeyExchange, Body: b.bytes()}
 }
 
+// AppendCKE appends the framed ClientKeyExchange to dst.
+func AppendCKE(dst []byte, kex Kex, public []byte) []byte {
+	dst, msg := beginMsg(dst, TypeClientKeyExchange)
+	if kex == KexDHE {
+		dst = appendVec16(dst, public)
+	} else {
+		dst = append(dst, byte(len(public)))
+		dst = append(dst, public...)
+	}
+	return endMsg(dst, msg)
+}
+
 func ParseCKE(kex Kex, body []byte) ([]byte, error) {
 	p := &parser{b: body}
 	var pub []byte
@@ -383,6 +486,15 @@ func (t *NewSessionTicket) Marshal() *Msg {
 	return &Msg{Type: TypeNewSessionTicket, Body: b.bytes()}
 }
 
+// AppendTo appends the framed NewSessionTicket, byte-identical to
+// Marshal().Marshal().
+func (t *NewSessionTicket) AppendTo(dst []byte) []byte {
+	dst, msg := beginMsg(dst, TypeNewSessionTicket)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(t.LifetimeHint/time.Second))
+	dst = appendVec16(dst, t.Ticket)
+	return endMsg(dst, msg)
+}
+
 func ParseNewSessionTicket(body []byte) (*NewSessionTicket, error) {
 	p := &parser{b: body}
 	t := &NewSessionTicket{}
@@ -395,6 +507,30 @@ func ParseNewSessionTicket(body []byte) (*NewSessionTicket, error) {
 }
 
 // ---- builder / parser ----
+
+// beginMsg reserves a 4-byte handshake header in dst; endMsg backfills
+// the length. Between the two, start indexes the header's first byte.
+func beginMsg(dst []byte, typ uint8) ([]byte, int) {
+	return append(dst, typ, 0, 0, 0), len(dst)
+}
+
+func endMsg(dst []byte, start int) []byte {
+	putUint24(dst[start+1:start+4], len(dst)-start-4)
+	return dst
+}
+
+// beginVec16 reserves a 16-bit length prefix; endVec16 backfills it.
+func beginVec16(dst []byte) ([]byte, int) { return append(dst, 0, 0), len(dst) }
+
+func endVec16(dst []byte, start int) []byte {
+	binary.BigEndian.PutUint16(dst[start:start+2], uint16(len(dst)-start-2))
+	return dst
+}
+
+func appendVec16(dst, v []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(v)))
+	return append(dst, v...)
+}
 
 type builder struct{ b []byte }
 
