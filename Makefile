@@ -56,11 +56,17 @@ bench-campaign:
 		$(GO) test -run=NONE -bench='CampaignE2E$$' -benchtime=$(BENCHTIME) $(BENCHPKG)
 
 # Smoke-scale bench + regression gate: measures the short campaign,
-# then compares allocs_per_op (tight) and seconds_per_op (loose) against
-# the committed smoke baseline. CI fails the build if this fails.
+# then compares allocs_per_op / alloc_bytes_per_op (tight) and
+# seconds_per_op / handshakes_per_sec (loose) against the committed
+# smoke baseline. CI fails the build if this fails. BENCH_GATE_PROFILES
+# adds -cpuprofile/-memprofile of the gated run (CI uploads them as
+# artifacts for regression triage).
+BENCH_GATE_PROFILES ?=
 bench-gate:
 	BENCH_CAMPAIGN_OUT=/tmp/bench_smoke.json \
-		$(GO) test -short -run=NONE -bench='CampaignE2E$$' -benchtime=$(BENCHTIME) $(BENCHPKG)
+		$(GO) test -short -run=NONE -bench='CampaignE2E$$' -benchtime=$(BENCHTIME) \
+		$(if $(BENCH_GATE_PROFILES),-cpuprofile=$(BENCH_GATE_PROFILES)/bench_smoke.cpu -memprofile=$(BENCH_GATE_PROFILES)/bench_smoke.mem,) \
+		$(BENCHPKG)
 	$(GO) run tlsshortcuts/cmd/benchgate -baseline testdata/bench_smoke_baseline.json -current /tmp/bench_smoke.json
 
 # Million-scale extrapolation profile: paper-shaped 63-day campaign at

@@ -7,14 +7,20 @@
 //
 //	benchgate -baseline testdata/bench_smoke_baseline.json -current /tmp/bench.json
 //
-// Two metrics gate the build:
+// Four metrics gate the build:
 //
 //   - allocs_per_op: deterministic for a fixed campaign shape, so the
 //     tolerance is tight (default 25%). An alloc regression here means a
 //     hot-path change reintroduced per-handshake garbage.
+//   - alloc_bytes_per_op: same determinism argument, tight tolerance
+//     (default 25%) — catches fewer-but-bigger allocation regressions
+//     that allocs_per_op alone would miss.
 //   - seconds_per_op: noisy on shared CI runners, so the tolerance is
 //     loose (default 150%) — it only catches order-of-magnitude rot, not
 //     jitter.
+//   - handshakes_per_sec: throughput, higher is better; gated on the
+//     same loose tolerance as seconds_per_op (a drop below
+//     baseline/(1+tol) fails).
 //
 // The gate refuses to compare runs of different campaign shapes
 // (list_size/days/workers/seed must match the baseline).
@@ -28,13 +34,15 @@ import (
 )
 
 type benchDoc struct {
-	Benchmark    string  `json:"benchmark"`
-	ListSize     int     `json:"list_size"`
-	Days         int     `json:"days"`
-	Workers      int     `json:"workers"`
-	Seed         int64   `json:"seed"`
-	AllocsPerOp  float64 `json:"allocs_per_op"`
-	SecondsPerOp float64 `json:"seconds_per_op"`
+	Benchmark        string  `json:"benchmark"`
+	ListSize         int     `json:"list_size"`
+	Days             int     `json:"days"`
+	Workers          int     `json:"workers"`
+	Seed             int64   `json:"seed"`
+	AllocsPerOp      float64 `json:"allocs_per_op"`
+	AllocBytesPerOp  float64 `json:"alloc_bytes_per_op"`
+	SecondsPerOp     float64 `json:"seconds_per_op"`
+	HandshakesPerSec float64 `json:"handshakes_per_sec"`
 }
 
 func load(path string) (*benchDoc, error) {
@@ -46,8 +54,8 @@ func load(path string) (*benchDoc, error) {
 	if err := json.Unmarshal(b, &d); err != nil {
 		return nil, fmt.Errorf("%s: %v", path, err)
 	}
-	if d.AllocsPerOp <= 0 || d.SecondsPerOp <= 0 {
-		return nil, fmt.Errorf("%s: missing allocs_per_op/seconds_per_op", path)
+	if d.AllocsPerOp <= 0 || d.SecondsPerOp <= 0 || d.AllocBytesPerOp <= 0 || d.HandshakesPerSec <= 0 {
+		return nil, fmt.Errorf("%s: missing allocs_per_op/alloc_bytes_per_op/seconds_per_op/handshakes_per_sec", path)
 	}
 	return &d, nil
 }
@@ -91,11 +99,25 @@ func main() {
 			status = "REGRESSION"
 			fail = true
 		}
-		fmt.Printf("%-14s baseline %14.4g  current %14.4g  delta %+7.1f%%  (tolerance +%.0f%%)  %s\n",
+		fmt.Printf("%-18s baseline %14.4g  current %14.4g  delta %+7.1f%%  (tolerance +%.0f%%)  %s\n",
+			name, baseV, curV, 100*ratio, 100*tol, status)
+	}
+	// Throughput is higher-is-better: gate on the inverse so the same
+	// "ratio > tol fails" logic applies.
+	checkDrop := func(name string, baseV, curV, tol float64) {
+		ratio := baseV/curV - 1
+		status := "ok"
+		if ratio > tol {
+			status = "REGRESSION"
+			fail = true
+		}
+		fmt.Printf("%-18s baseline %14.4g  current %14.4g  drop %+7.1f%%  (tolerance +%.0f%%)  %s\n",
 			name, baseV, curV, 100*ratio, 100*tol, status)
 	}
 	check("allocs_per_op", base.AllocsPerOp, cur.AllocsPerOp, *allocsTol)
+	check("alloc_bytes_per_op", base.AllocBytesPerOp, cur.AllocBytesPerOp, *allocsTol)
 	check("seconds_per_op", base.SecondsPerOp, cur.SecondsPerOp, *secondsTol)
+	checkDrop("handshakes_per_sec", base.HandshakesPerSec, cur.HandshakesPerSec, *secondsTol)
 	if fail {
 		fmt.Println("benchgate: FAIL — performance regressed past tolerance")
 		fmt.Println("benchgate: if the regression is intentional, refresh the committed baseline")

@@ -50,10 +50,11 @@ func main() {
 		listSize = flag.Int("listsize", 5000, "scaled Top Million list size")
 		days     = flag.Int("days", 64, "study length in days (paper: Mar 2 - May 4 2016)")
 		seed     = flag.Int64("seed", 1, "deterministic world/scan seed")
-		workers  = flag.Int("workers", runtime.NumCPU()*2, "scan concurrency")
-		out      = flag.String("out", "dataset.json", "output dataset path")
-		report   = flag.Bool("report", true, "print the full report after the run")
-		quiet    = flag.Bool("quiet", false, "suppress progress logging")
+		workers  = flag.Int("workers", runtime.NumCPU(),
+			"scan concurrency (default NumCPU: probes are CPU-bound on the in-process simnet, never blocked on real I/O; NumCPU*2 measured ~3% slower on a 1-CPU host, 2.41s vs 2.35s for a 150x6 campaign)")
+		out    = flag.String("out", "dataset.json", "output dataset path")
+		report = flag.Bool("report", true, "print the full report after the run")
+		quiet  = flag.Bool("quiet", false, "suppress progress logging")
 
 		shard = flag.String("shard", "", "run one campaign slice, as i/N (e.g. 0/3); merge with -merge")
 		merge = flag.Bool("merge", false, "merge shard dataset files (given as args) into -out instead of running")

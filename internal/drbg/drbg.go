@@ -99,6 +99,15 @@ func (r *Reader) Reseed(p0, p1 []byte) {
 	r.off = 32
 }
 
+// ReseedParts re-keys the reader in place, equivalent to replacing it
+// with NewParts(p0, s1, s2). The scanner keeps one Reader per worker
+// arena and reseeds it per probe instead of allocating.
+func (r *Reader) ReseedParts(p0 []byte, s1, s2 string) {
+	r.key = partsKey(p0, s1, s2)
+	r.ctr = 0
+	r.off = 32
+}
+
 // Read fills p from the stream. It never fails.
 func (r *Reader) Read(p []byte) (int, error) {
 	n := len(p)

@@ -176,7 +176,11 @@ func ECDHEKeyPub(p *Policy, now time.Time, rand interface{ Read([]byte) (int, er
 		if err != nil {
 			return nil, nil, err
 		}
-		return k, k.PublicKey().Bytes(), nil
+		pub := k.PublicKey().Bytes()
+		if perf.CryptoAmortization() {
+			scalarStore(pub, k, false)
+		}
+		return k, pub, nil
 	}
 	telemetry.Global().Counter("keyex/reuse_lookups").Inc()
 	e := p.epoch(now)
@@ -194,6 +198,9 @@ func ECDHEKeyPub(p *Policy, now time.Time, rand interface{ Read([]byte) (int, er
 	pub := k.PublicKey().Bytes()
 	if perf.CryptoCaches() {
 		cachePut(ck, &cacheVal{ecdheKey: k, ecdhePub: pub})
+	}
+	if perf.CryptoAmortization() {
+		scalarStore(pub, k, true)
 	}
 	return k, pub, nil
 }

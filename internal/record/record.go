@@ -12,6 +12,10 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
+
+	"tlsshortcuts/internal/perf"
+	"tlsshortcuts/internal/telemetry"
 )
 
 // Record content types.
@@ -61,19 +65,37 @@ type Conn struct {
 	// rbuf is the reusable incoming-record scratch: a Record's Payload is
 	// only valid until the next ReadRecord on the same Conn.
 	rbuf []byte
+	// coalesce batches outgoing records in pend until Flush — one
+	// transport write (one pipe lock + wakeup) per flight instead of one
+	// per record. ReadRecord flushes first, so the peer always sees every
+	// pending byte before this side blocks on it; the byte stream is
+	// identical to per-record writes.
+	coalesce bool
+	pend     []byte
 }
 
-// NewConn wraps c; both directions start in plaintext.
+// maxPend bounds the coalescing buffer; a pending flight larger than
+// this is flushed eagerly. Handshake flights run ~2 KB, so steady state
+// never hits the bound.
+const maxPend = 8 << 10
+
+// NewConn wraps c; both directions start in plaintext and writes are
+// unbuffered (callers that never read again would otherwise need an
+// explicit Flush).
 func NewConn(c net.Conn) *Conn { return &Conn{c: c} }
 
 // Reset rebinds the connection to c and clears both directions' crypto
 // state, keeping the frame scratch buffers. The engines pool their
 // handshake state across connections; nothing a caller retains aliases
-// these buffers (payloads are copied out before the next read).
+// these buffers (payloads are copied out before the next read). Flight
+// coalescing is enabled here — the pooled engines flush before every
+// read and at connection exit.
 func (rc *Conn) Reset(c net.Conn) {
 	rc.c = c
 	rc.in = halfConn{}
 	rc.out = halfConn{}
+	rc.coalesce = perf.FlightCoalescing()
+	rc.pend = rc.pend[:0]
 }
 
 // ArmWrite switches the write direction to AES-128-GCM.
@@ -83,17 +105,60 @@ func (rc *Conn) ArmWrite(key, salt []byte) error { return rc.out.arm(key, salt) 
 func (rc *Conn) ArmRead(key, salt []byte) error { return rc.in.arm(key, salt) }
 
 func (h *halfConn) arm(key, salt []byte) error {
-	block, err := aes.NewCipher(key)
+	aead, err := trafficAEAD(key)
 	if err != nil {
 		return err
 	}
-	h.aead, err = cipher.NewGCM(block)
-	if err != nil {
-		return err
-	}
+	h.aead = aead
 	copy(h.salt[:], salt)
 	h.seq = 0
 	return nil
+}
+
+// aeadCache amortizes AES-GCM construction across the two endpoints of a
+// connection: every traffic key is armed exactly twice — once by the
+// writer, once (strictly later, because arming happens before the first
+// protected byte is sent) by the reader. The first arm constructs and
+// parks the AEAD; the second consumes it, so the cache holds only
+// in-flight keys and halves the per-handshake cipher setups. GCM state
+// is read-only after construction, so the brief window where both
+// half-connections hold the same AEAD is safe under concurrent use.
+var aeadCache struct {
+	mu sync.Mutex
+	m  map[[16]byte]cipher.AEAD
+}
+
+// maxAEADCacheEntries bounds keys stranded by half-finished handshakes
+// (the peer never armed); the cache is cleared wholesale at the bound.
+const maxAEADCacheEntries = 4096
+
+func trafficAEAD(key []byte) (cipher.AEAD, error) {
+	if len(key) != 16 || !perf.CryptoAmortization() {
+		return NewAEAD(key)
+	}
+	var k [16]byte
+	copy(k[:], key)
+	aeadCache.mu.Lock()
+	if a, ok := aeadCache.m[k]; ok {
+		delete(aeadCache.m, k)
+		aeadCache.mu.Unlock()
+		// wall/: a bound-clear between the two arms of one key turns a
+		// hit into a miss, so the count depends on scheduling.
+		telemetry.Global().Counter("wall/record/aead_cache_hit").Inc()
+		return a, nil
+	}
+	aeadCache.mu.Unlock()
+	a, err := NewAEAD(key)
+	if err != nil {
+		return nil, err
+	}
+	aeadCache.mu.Lock()
+	if aeadCache.m == nil || len(aeadCache.m) >= maxAEADCacheEntries {
+		aeadCache.m = make(map[[16]byte]cipher.AEAD, 64)
+	}
+	aeadCache.m[k] = a
+	aeadCache.mu.Unlock()
+	return a, nil
 }
 
 func aad(seq uint64, typ uint8, n int) []byte {
@@ -165,8 +230,28 @@ func NewAEAD(key []byte) (cipher.AEAD, error) {
 
 // WriteRecord writes one record, protecting it if the direction is armed.
 // The frame is assembled in the connection's reusable scratch buffer so
-// steady-state writes allocate nothing.
+// steady-state writes allocate nothing. With flight coalescing enabled
+// the frame is queued in pend instead and handed to the transport by the
+// next Flush (which ReadRecord and WriteAlert perform implicitly); a
+// transport error then surfaces at that flush.
 func (rc *Conn) WriteRecord(typ uint8, payload []byte) error {
+	if rc.coalesce {
+		start := len(rc.pend)
+		buf := append(rc.pend, 0, 0, 0, 0, 0)
+		if rc.out.aead != nil {
+			buf = sealInto(buf, &rc.out, typ, payload)
+		} else {
+			buf = append(buf, payload...)
+		}
+		buf[start] = typ
+		binary.BigEndian.PutUint16(buf[start+1:start+3], recordVersion)
+		binary.BigEndian.PutUint16(buf[start+3:start+5], uint16(len(buf)-start-5))
+		rc.pend = buf
+		if len(rc.pend) >= maxPend {
+			return rc.Flush()
+		}
+		return nil
+	}
 	if need := 5 + len(payload) + 8 + 16; cap(rc.wbuf) < need {
 		rc.wbuf = make([]byte, 0, need+256)
 	}
@@ -184,12 +269,31 @@ func (rc *Conn) WriteRecord(typ uint8, payload []byte) error {
 	return err
 }
 
+// Flush hands every pending coalesced record to the transport in one
+// write. It is a no-op when nothing is pending (or coalescing is off),
+// so callers sprinkle it at read boundaries and connection exit without
+// tracking state.
+func (rc *Conn) Flush() error {
+	if len(rc.pend) == 0 {
+		return nil
+	}
+	buf := rc.pend
+	rc.pend = rc.pend[:0]
+	_, err := rc.c.Write(buf)
+	return err
+}
+
 // ReadRecord reads and (if armed) decrypts one record, returned by
 // value so the steady-state read path allocates nothing. The Payload
 // aliases the connection's reusable read buffer and is valid only until
 // the next ReadRecord on the same Conn; callers that retain it must
 // copy.
 func (rc *Conn) ReadRecord() (Record, error) {
+	// The peer cannot answer bytes it has not seen: deliver any pending
+	// flight before blocking on the response.
+	if err := rc.Flush(); err != nil {
+		return Record{}, err
+	}
 	if _, err := io.ReadFull(rc.c, rc.hdr[:]); err != nil {
 		return Record{}, err
 	}
@@ -233,7 +337,12 @@ const (
 	AlertBadCertificate   uint8 = 42
 )
 
-// WriteAlert sends a fatal alert.
+// WriteAlert sends a fatal alert, flushing it (and any pending flight)
+// immediately: alert writers are about to tear the connection down.
 func (rc *Conn) WriteAlert(code uint8) error {
-	return rc.WriteRecord(TypeAlert, []byte{2, code})
+	err := rc.WriteRecord(TypeAlert, []byte{2, code})
+	if ferr := rc.Flush(); err == nil {
+		err = ferr
+	}
+	return err
 }

@@ -85,6 +85,41 @@ type Scanner struct {
 	// names on every probe is a measurable slice of a campaign's
 	// allocations.
 	latNames sync.Map // metric family -> [2]string{wall, virtual}
+
+	// arenas holds one connection arena per worker slot, grown lazily by
+	// ensureArenas before a pool spins up and reused across every scan
+	// this Scanner runs. Indexed by the worker ID forEach hands out, so
+	// no locking is needed inside a probe.
+	arenas []*workerArena
+}
+
+// workerArena is one worker's recycled per-connection state: the Config
+// rebuilt per probe, the two Captures a two-connection scan fills, and
+// the reseedable client-entropy stream. Everything a probe retains past
+// the connection (Sessions, Observation bytes) is copied out of the
+// arena before the next probe overwrites it.
+type workerArena struct {
+	cfg  tlsclient.Config
+	cap1 tlsclient.Capture
+	cap2 tlsclient.Capture
+	rng  drbg.Reader
+}
+
+// ensureArenas grows the arena table to the worker count. Called before
+// goroutines spawn; not safe during a scan.
+func (s *Scanner) ensureArenas() {
+	for n := s.workers(); len(s.arenas) < n; {
+		s.arenas = append(s.arenas, &workerArena{})
+	}
+}
+
+// arena returns worker w's arena — or a fresh one per call when
+// recycling is off, restoring the unpooled allocation behavior.
+func (s *Scanner) arena(w int) *workerArena {
+	if !perf.ConnRecycling() {
+		return &workerArena{}
+	}
+	return s.arenas[w]
 }
 
 // Scan hardening defaults: generous wall-clock deadline (simnet
@@ -125,19 +160,36 @@ func (s *Scanner) retries() int {
 	return DefaultRetries
 }
 
-// forEach runs fn(i) for i in [0,n) on the worker pool. Workers claim
-// indices from a shared atomic counter: no dispatcher goroutine, no
-// channel send per item — one atomic add per claim.
-func (s *Scanner) forEach(n int, fn func(i int)) {
+// forEach runs fn(w, i) for i in [0,n) on the worker pool, where w is the
+// claiming worker's slot (for arena lookup). Workers claim index chunks
+// from a shared atomic counter: no dispatcher goroutine, no channel send
+// per item — one atomic add per chunk. Chunked claiming trades scheduling
+// granularity for locality (a worker's arena stays hot across a run of
+// adjacent domains) and fewer contended atomics; results are written to
+// out[i] regardless of which worker claims i, so partitioning never shows
+// in output — the campaign golden hash is identical for any worker count
+// and either claiming mode.
+func (s *Scanner) forEach(n int, fn func(w, i int)) {
 	workers := s.workers()
 	if workers > n {
 		workers = n
 	}
+	s.ensureArenas()
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
+	}
+	chunk := 1
+	if perf.ChunkedScheduling() {
+		chunk = n / (workers * 4)
+		if chunk < 8 {
+			chunk = 8
+		}
+		if chunk > 64 {
+			chunk = 64
+		}
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -146,11 +198,17 @@ func (s *Scanner) forEach(n int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
+				base := int(next.Add(int64(chunk))) - chunk
+				if base >= n {
 					return
 				}
-				fn(i)
+				end := base + chunk
+				if end > n {
+					end = n
+				}
+				for i := base; i < end; i++ {
+					fn(w, i)
+				}
 			}
 		}()
 	}
@@ -164,7 +222,7 @@ func (s *Scanner) forEach(n int, fn func(i int)) {
 // "|r<k>" suffix — draws from its own reproducible entropy stream
 // regardless of worker scheduling. The returned class is the LAST
 // attempt's failure classification (ClassNone on success).
-func (s *Scanner) connect(domain, label string, cfg *tlsclient.Config) (*tlsclient.Capture, faults.ErrClass, error) {
+func (s *Scanner) connect(ar *workerArena, dst *tlsclient.Capture, domain, label string, cfg *tlsclient.Config) (faults.ErrClass, error) {
 	tel := s.Telemetry
 	var mlabel string
 	var start time.Time
@@ -183,7 +241,7 @@ func (s *Scanner) connect(domain, label string, cfg *tlsclient.Config) (*tlsclie
 		if tel != nil {
 			tel.Counter(telemetry.CounterHandshakesStarted).Inc()
 		}
-		cap, class, err := s.connectOnce(domain, alabel, cfg, callerRand, wait)
+		class, err := s.connectOnce(ar, dst, domain, alabel, cfg, callerRand, wait)
 		if err == nil || attempt >= s.retries() || !faults.Transient(class) {
 			if tel != nil {
 				elapsed := time.Since(start)
@@ -202,7 +260,7 @@ func (s *Scanner) connect(domain, label string, cfg *tlsclient.Config) (*tlsclie
 					tel.Counter(telemetry.CounterHandshakesCompleted).Inc()
 				}
 			}
-			return cap, class, err
+			return class, err
 		}
 		if tel != nil {
 			tel.Counter(telemetry.CounterRetries).Inc()
@@ -243,7 +301,7 @@ func metricLabel(label string) string {
 // retry backoff: rather than mutating the shared lockstep clock (which
 // would race against other workers and shift every concurrent probe), the
 // attempt sees a per-connection offset view of virtual time.
-func (s *Scanner) connectOnce(domain, label string, cfg *tlsclient.Config, callerRand io.Reader, wait time.Duration) (*tlsclient.Capture, faults.ErrClass, error) {
+func (s *Scanner) connectOnce(ar *workerArena, dst *tlsclient.Capture, domain, label string, cfg *tlsclient.Config, callerRand io.Reader, wait time.Duration) (faults.ErrClass, error) {
 	var conn net.Conn
 	var err error
 	if pd, ok := s.Dialer.(ProbeDialer); ok {
@@ -252,7 +310,7 @@ func (s *Scanner) connectOnce(domain, label string, cfg *tlsclient.Config, calle
 		conn, err = s.Dialer.Dial(domain)
 	}
 	if err != nil {
-		return nil, faults.ClassDial, err
+		return faults.ClassDial, err
 	}
 	defer conn.Close()
 	if t := s.timeout(); t > 0 {
@@ -267,13 +325,18 @@ func (s *Scanner) connectOnce(domain, label string, cfg *tlsclient.Config, calle
 	cfg.ReuseKex = true
 	cfg.Rand = callerRand
 	if callerRand == nil && s.Seed != nil {
-		cfg.Rand = drbg.NewParts(s.Seed, domain, label)
+		if perf.ConnRecycling() {
+			// Same stream as a fresh NewParts reader, reseeded in place.
+			ar.rng.ReseedParts(s.Seed, domain, label)
+			cfg.Rand = &ar.rng
+		} else {
+			cfg.Rand = drbg.NewParts(s.Seed, domain, label)
+		}
 	}
-	cap, err := tlsclient.Handshake(conn, cfg)
-	if err != nil {
-		return cap, faults.Classify(err), err
+	if err := tlsclient.HandshakeInto(dst, conn, cfg); err != nil {
+		return faults.Classify(err), err
 	}
-	return cap, faults.ClassNone, nil
+	return faults.ClassNone, nil
 }
 
 // backoff derives attempt k's virtual-time delay: exponential from
@@ -324,6 +387,27 @@ type Observation struct {
 	// study excludes such pairs from reuse denominators.
 	ErrClass  faults.ErrClass `json:",omitempty"`
 	ErrClass2 faults.ErrClass `json:",omitempty"`
+
+	// Inline backing arrays for KEXValue/KEXValue2/STEKID (heap fallback
+	// for oversized values): the Captures those slices used to alias are
+	// arena-recycled between probes. An Observation copied by value keeps
+	// aliasing the source element's arrays, which is fine for the
+	// fold-per-day aggregation (it hex-encodes what it keeps) but means
+	// observations must be consumed before their slice is reused.
+	kexb1, kexb2 [72]byte
+	stekb        [20]byte
+}
+
+// obsBytes copies b into an observation's inline storage, falling back
+// to the heap when oversized; nil stays nil.
+func obsBytes(dst, b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	if len(b) <= len(dst) {
+		return dst[:copy(dst, b)]
+	}
+	return append([]byte(nil), b...)
 }
 
 // Daily scans each domain once for the given virtual day. With
@@ -362,39 +446,45 @@ func (s *Scanner) DailyInto(dst []Observation, domains []string, day int, suites
 		out = out[:len(domains)]
 		clear(out)
 	}
-	s.forEach(len(domains), func(i int) {
-		o := Observation{Domain: domains[i], Day: day}
-		cap1, class, err := s.connect(domains[i], l1, &tlsclient.Config{Suites: suites, OfferTicket: offerTicket, KexOnly: kexOnly})
+	s.forEach(len(domains), func(w, i int) {
+		ar := s.arena(w)
+		o := &out[i]
+		o.Domain = domains[i]
+		o.Day = day
+		cfg := &ar.cfg
+		*cfg = tlsclient.Config{Suites: suites, OfferTicket: offerTicket, KexOnly: kexOnly}
+		cap1 := &ar.cap1
+		class, err := s.connect(ar, cap1, domains[i], l1, cfg)
 		if err != nil {
 			o.Err = err
 			o.ErrClass = class
-			out[i] = o
 			return
 		}
 		o.OK = true
 		o.Trusted = cap1.Trusted
 		o.Suite = cap1.CipherSuite
 		o.Kex = cap1.KexAlg
-		o.KEXValue = cap1.ServerKEXValue
+		o.KEXValue = obsBytes(o.kexb1[:], cap1.ServerKEXValue)
 		o.TicketIssued = cap1.TicketIssued
 		o.LifetimeHint = cap1.LifetimeHint
 		if offerTicket && cap1.TicketIssued {
-			cap2, class2, err := s.connect(domains[i], l2, &tlsclient.Config{Suites: suites, OfferTicket: true})
+			*cfg = tlsclient.Config{Suites: suites, OfferTicket: true}
+			class2, err := s.connect(ar, &ar.cap2, domains[i], l2, cfg)
 			switch {
 			case err != nil:
 				o.ErrClass2 = class2
-			case cap2.TicketIssued:
-				o.STEKID = ticket.DetectKeyID(cap1.Ticket, cap2.Ticket)
+			case ar.cap2.TicketIssued:
+				o.STEKID = obsBytes(o.stekb[:], ticket.DetectKeyID(cap1.Ticket, ar.cap2.Ticket))
 			}
 		} else if suites != nil {
-			cap2, class2, err := s.connect(domains[i], l2, &tlsclient.Config{Suites: suites, KexOnly: kexOnly})
+			*cfg = tlsclient.Config{Suites: suites, KexOnly: kexOnly}
+			class2, err := s.connect(ar, &ar.cap2, domains[i], l2, cfg)
 			if err != nil {
 				o.ErrClass2 = class2
 			} else {
-				o.KEXValue2 = cap2.ServerKEXValue
+				o.KEXValue2 = obsBytes(o.kexb2[:], ar.cap2.ServerKEXValue)
 			}
 		}
-		out[i] = o
 	})
 	return out
 }
@@ -430,35 +520,41 @@ func (s *Scanner) LifetimeProbe(targets []string, useTicket bool, poll, max time
 	start := clock.Now()
 	out := make([]ProbeResult, len(targets))
 	sessions := make([]*tlsclient.Session, len(targets))
-	s.forEach(len(targets), func(i int) {
+	s.forEach(len(targets), func(w, i int) {
+		ar := s.arena(w)
 		out[i].Domain = targets[i]
-		cap, class, err := s.connect(targets[i], "lt|"+mode+"|init", &tlsclient.Config{OfferTicket: useTicket})
+		cfg := &ar.cfg
+		*cfg = tlsclient.Config{OfferTicket: useTicket}
+		cap1 := &ar.cap1
+		class, err := s.connect(ar, cap1, targets[i], "lt|"+mode+"|init", cfg)
 		if err != nil {
 			out[i].ErrClass = class
 			return
 		}
-		if useTicket && !cap.TicketIssued {
+		if useTicket && !cap1.TicketIssued {
 			return
 		}
-		if !useTicket && len(cap.SessionID) == 0 {
+		if !useTicket && len(cap1.SessionID) == 0 {
 			return
 		}
 		out[i].OK = true
-		out[i].Hint = cap.LifetimeHint
-		sessions[i] = cap.Session
+		out[i].Hint = cap1.LifetimeHint
+		// Sessions own their bytes and are heap-allocated per handshake,
+		// so retaining them past the arena Capture's recycling is safe.
+		sessions[i] = cap1.Session
 	})
 
 	alive := make([]bool, len(targets))
-	probe := func(i int, label string) bool {
-		cap, _, err := s.connect(targets[i], label, &tlsclient.Config{
-			Resume: sessions[i], ResumeViaTicket: useTicket,
-		})
-		return err == nil && cap.Resumed
+	probe := func(ar *workerArena, i int, label string) bool {
+		cfg := &ar.cfg
+		*cfg = tlsclient.Config{Resume: sessions[i], ResumeViaTicket: useTicket}
+		_, err := s.connect(ar, &ar.cap2, targets[i], label, cfg)
+		return err == nil && ar.cap2.Resumed
 	}
 
 	clock.Set(start.Add(time.Second))
-	s.forEach(len(targets), func(i int) {
-		if out[i].OK && probe(i, "lt|"+mode+"|1s") {
+	s.forEach(len(targets), func(w, i int) {
+		if out[i].OK && probe(s.arena(w), i, "lt|"+mode+"|1s") {
 			out[i].ResumedAt1s = true
 			alive[i] = true
 		}
@@ -467,11 +563,11 @@ func (s *Scanner) LifetimeProbe(targets []string, useTicket bool, poll, max time
 		clock.Set(start.Add(d))
 		label := fmt.Sprintf("lt|%s|poll|%d", mode, int64(d/time.Second))
 		any := false
-		s.forEach(len(targets), func(i int) {
+		s.forEach(len(targets), func(w, i int) {
 			if !alive[i] {
 				return
 			}
-			if probe(i, label) {
+			if probe(s.arena(w), i, label) {
 				out[i].MaxDelay = d
 			} else {
 				alive[i] = false
@@ -524,16 +620,18 @@ func (s *Scanner) CrossDomainGroupsIn(initiators, pop []string, topo Topology, n
 	uf := NewUnionFind()
 	st := XDStats{Probed: len(targets)}
 	var mu sync.Mutex
-	s.forEach(len(targets), func(i int) {
+	s.forEach(len(targets), func(w, i int) {
+		ar := s.arena(w)
 		domain := targets[i]
-		cap, _, err := s.connect(domain, "xd|init", &tlsclient.Config{})
-		if err != nil {
+		cfg := &ar.cfg
+		*cfg = tlsclient.Config{}
+		if _, err := s.connect(ar, &ar.cap1, domain, "xd|init", cfg); err != nil {
 			mu.Lock()
 			st.InitFailed++
 			mu.Unlock()
 			return
 		}
-		if len(cap.SessionID) == 0 {
+		if len(ar.cap1.SessionID) == 0 {
 			return
 		}
 		mu.Lock()
@@ -543,6 +641,9 @@ func (s *Scanner) CrossDomainGroupsIn(initiators, pop []string, topo Topology, n
 		uf.Find(domain)
 		st.Sessioned++
 		mu.Unlock()
+		// The candidate probes below recycle cap1, so hold the session
+		// (heap-allocated, owns its bytes) rather than the Capture.
+		sess := ar.cap1.Session
 		cands := seededPrefix(domain, topo.SameAS(domain), nAS)
 		cands = append(cands, seededPrefix(domain, topo.SameIP(domain), nIP)...)
 		seen := map[string]bool{domain: true}
@@ -551,14 +652,14 @@ func (s *Scanner) CrossDomainGroupsIn(initiators, pop []string, topo Topology, n
 				continue
 			}
 			seen[cand] = true
-			c2, _, err := s.connect(cand, "xd|probe|"+domain, &tlsclient.Config{Resume: cap.Session})
-			if err != nil {
+			*cfg = tlsclient.Config{Resume: sess}
+			if _, err := s.connect(ar, &ar.cap2, cand, "xd|probe|"+domain, cfg); err != nil {
 				mu.Lock()
 				st.ProbeFailed++
 				mu.Unlock()
 				continue
 			}
-			if c2.Resumed {
+			if ar.cap2.Resumed {
 				mu.Lock()
 				uf.Union(domain, cand)
 				mu.Unlock()

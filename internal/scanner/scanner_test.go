@@ -11,10 +11,13 @@ func TestForEachVisitsEachIndexOnce(t *testing.T) {
 	} {
 		s := &Scanner{Workers: tc.workers}
 		counts := make([]atomic.Int32, tc.n+1)
-		s.forEach(tc.n, func(i int) {
+		s.forEach(tc.n, func(w, i int) {
 			if i < 0 || i >= tc.n {
 				t.Errorf("n=%d workers=%d: index %d out of range", tc.n, tc.workers, i)
 				return
+			}
+			if w < 0 || w >= tc.workers {
+				t.Errorf("n=%d workers=%d: worker slot %d out of range", tc.n, tc.workers, w)
 			}
 			counts[i].Add(1)
 		})
@@ -29,7 +32,7 @@ func TestForEachVisitsEachIndexOnce(t *testing.T) {
 func TestForEachDefaultWorkers(t *testing.T) {
 	s := &Scanner{} // Workers unset -> default pool
 	var total atomic.Int32
-	s.forEach(50, func(int) { total.Add(1) })
+	s.forEach(50, func(int, int) { total.Add(1) })
 	if total.Load() != 50 {
 		t.Fatalf("visited %d of 50", total.Load())
 	}

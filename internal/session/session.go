@@ -26,26 +26,43 @@ const stateLen = 2 + 2 + 8 + 48
 
 // Marshal serializes the state for sealing into a ticket.
 func (s *State) Marshal() []byte {
-	out := make([]byte, stateLen)
+	return s.AppendMarshal(make([]byte, 0, stateLen))
+}
+
+// AppendMarshal appends the serialized state to dst, so a ticket seal
+// can marshal straight into the outgoing message buffer.
+func (s *State) AppendMarshal(dst []byte) []byte {
+	var out [stateLen]byte
 	binary.BigEndian.PutUint16(out[0:2], s.Version)
 	binary.BigEndian.PutUint16(out[2:4], s.Suite)
 	binary.BigEndian.PutUint64(out[4:12], uint64(s.CreatedAt.Unix()))
 	copy(out[12:], s.MasterSecret[:])
-	return out
+	return append(dst, out[:]...)
 }
+
+// MarshaledLen is the fixed serialized length of a State.
+const MarshaledLen = stateLen
 
 // Unmarshal reverses Marshal.
 func Unmarshal(b []byte) (*State, error) {
-	if len(b) != stateLen {
-		return nil, fmt.Errorf("session: bad state length %d", len(b))
+	s := &State{}
+	if err := UnmarshalInto(s, b); err != nil {
+		return nil, err
 	}
-	s := &State{
-		Version:   binary.BigEndian.Uint16(b[0:2]),
-		Suite:     binary.BigEndian.Uint16(b[2:4]),
-		CreatedAt: time.Unix(int64(binary.BigEndian.Uint64(b[4:12])), 0).UTC(),
-	}
-	copy(s.MasterSecret[:], b[12:])
 	return s, nil
+}
+
+// UnmarshalInto is Unmarshal decoding into caller-owned storage, for the
+// server's pooled per-connection ticket scratch.
+func UnmarshalInto(dst *State, b []byte) error {
+	if len(b) != stateLen {
+		return fmt.Errorf("session: bad state length %d", len(b))
+	}
+	dst.Version = binary.BigEndian.Uint16(b[0:2])
+	dst.Suite = binary.BigEndian.Uint16(b[2:4])
+	dst.CreatedAt = time.Unix(int64(binary.BigEndian.Uint64(b[4:12])), 0).UTC()
+	copy(dst.MasterSecret[:], b[12:])
+	return nil
 }
 
 // Cache is a server-side session cache (ID -> State) with a lifetime

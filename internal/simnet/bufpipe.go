@@ -5,8 +5,49 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"tlsshortcuts/internal/perf"
 )
+
+// recvBufPool recycles receive buffers across pipes: each handshake makes
+// one pipe whose two ~2 KB direction buffers would otherwise be fresh
+// allocations. Buffers are handed out at first write and returned when
+// the reading side closes (after which neither read nor write touches
+// b.buf again, so ownership transfer is unambiguous).
+var recvBufPool sync.Pool // *[]byte
+
+// wakeTimer is a pooled read-deadline wake-up timer. The timer callback
+// is fixed at construction and indirects through an atomic target
+// pointer, so one runtime timer serves many pipes over its lifetime. A
+// stale fire after the timer migrates broadcasts on the new target,
+// which is harmless: readers recheck their deadline under the lock.
+type wakeTimer struct {
+	t *time.Timer
+	b atomic.Pointer[pipeBuf]
+}
+
+func (w *wakeTimer) fire() {
+	if b := w.b.Load(); b != nil {
+		b.mu.Lock()
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	}
+}
+
+var wakeTimerPool sync.Pool // *wakeTimer
+
+func getWakeTimer(b *pipeBuf) *wakeTimer {
+	w, _ := wakeTimerPool.Get().(*wakeTimer)
+	if w == nil {
+		w = &wakeTimer{}
+		w.t = time.AfterFunc(time.Hour, w.fire)
+		w.t.Stop()
+	}
+	w.b.Store(b)
+	return w
+}
 
 // NewBufferedPipe returns a connected pair of in-memory net.Conns, like
 // net.Pipe but buffered: Write copies into the peer's receive buffer and
@@ -56,6 +97,12 @@ type pipeBuf struct {
 	wrDeadline time.Time
 	rdTimer    *time.Timer
 	rdArmed    bool // timer armed for the current rdDeadline
+
+	// box is the recvBufPool box buf came from (nil for a fresh make),
+	// reused at closeRead so returning the buffer costs no allocation.
+	box *[]byte
+	// wake is the pooled timer behind rdTimer, when recycling is on.
+	wake *wakeTimer
 }
 
 // bufConn is one endpoint: reads from rd, writes into wr.
@@ -98,7 +145,21 @@ func (b *pipeBuf) write(p []byte) (int, error) {
 		if len(p)+512 > reserve {
 			reserve = len(p) + 512
 		}
-		b.buf = make([]byte, 0, reserve)
+		if perf.ConnRecycling() {
+			if v, _ := recvBufPool.Get().(*[]byte); v != nil {
+				if cap(*v) >= reserve {
+					b.buf = (*v)[:0]
+					b.box = v
+				} else {
+					*v = make([]byte, 0, reserve)
+					b.buf = *v
+					b.box = v
+				}
+			}
+		}
+		if b.buf == nil {
+			b.buf = make([]byte, 0, reserve)
+		}
 	}
 	b.buf = append(b.buf, p...)
 	b.cond.Broadcast()
@@ -134,9 +195,14 @@ func (b *pipeBuf) read(p []byte) (int, error) {
 		// most reads find data already buffered and never need one.
 		if !b.rdDeadline.IsZero() && !b.rdArmed {
 			if d := time.Until(b.rdDeadline); d > 0 {
-				if b.rdTimer != nil {
+				switch {
+				case b.rdTimer != nil:
 					b.rdTimer.Reset(d)
-				} else {
+				case perf.ConnRecycling():
+					b.wake = getWakeTimer(b)
+					b.rdTimer = b.wake.t
+					b.rdTimer.Reset(d)
+				default:
 					b.rdTimer = time.AfterFunc(d, func() {
 						b.mu.Lock()
 						b.cond.Broadcast()
@@ -168,6 +234,25 @@ func (b *pipeBuf) closeRead() {
 	if b.rdTimer != nil {
 		b.rdTimer.Stop()
 		b.rdTimer = nil
+	}
+	if b.wake != nil {
+		b.wake.b.Store(nil)
+		wakeTimerPool.Put(b.wake)
+		b.wake = nil
+	}
+	if b.buf != nil && perf.ConnRecycling() {
+		// rGone is set: read and write both bail before touching buf, so
+		// the (possibly grown) buffer can migrate to the next pipe. Reuse
+		// the box it arrived in; only first-generation buffers box fresh.
+		box := b.box
+		if box == nil {
+			box = new([]byte)
+		}
+		*box = b.buf
+		b.buf = nil
+		b.box = nil
+		b.off = 0
+		recvBufPool.Put(box)
 	}
 	b.cond.Broadcast()
 	b.mu.Unlock()

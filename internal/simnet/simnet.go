@@ -217,19 +217,42 @@ func (n *Net) pipe() (net.Conn, net.Conn) {
 var errReset = errors.New("simnet: connection reset by peer")
 
 // resetConn is the server side of a Reset-faulted connection: it lets a
-// bounded number of record writes through, then closes both directions so
-// the client sees the handshake cut off mid-flight.
+// bounded number of TLS records through, then closes both directions so
+// the client sees the handshake cut off mid-flight. The budget counts
+// record frames inside the written bytes, not Write calls, so the
+// client-visible cut point is independent of how the record layer
+// batches records into writes (per-record or flight-coalesced).
 type resetConn struct {
 	net.Conn
 	allow int
 }
 
 func (c *resetConn) Write(p []byte) (int, error) {
-	if c.allow <= 0 {
-		_ = c.Conn.Close()
-		return 0, errReset
+	off := 0
+	for off < len(p) {
+		if c.allow <= 0 {
+			var n int
+			if off > 0 {
+				var err error
+				n, err = c.Conn.Write(p[:off])
+				if err != nil {
+					return n, err
+				}
+			}
+			_ = c.Conn.Close()
+			return n, errReset
+		}
+		// One record frame: 5-byte header, big-endian length at [3:5].
+		// A malformed tail counts as a single record.
+		frame := len(p) - off
+		if off+5 <= len(p) {
+			if fl := 5 + int(p[off+3])<<8 + int(p[off+4]); fl <= len(p)-off {
+				frame = fl
+			}
+		}
+		c.allow--
+		off += frame
 	}
-	c.allow--
 	return c.Conn.Write(p)
 }
 

@@ -1,0 +1,69 @@
+package study
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tlsshortcuts/internal/perf"
+)
+
+func goldenCampaignHash(t *testing.T) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("testdata", "campaign_200x8_seed7.sha256"))
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -regen-golden): %v", err)
+	}
+	return strings.TrimSpace(string(b))
+}
+
+// TestHotPathLayersIndividuallyInert flips each of the hot-path
+// performance layers off on its own and checks the campaign dataset
+// still matches the committed golden hash. Testing layers one at a time
+// (rather than all-off, which TestPerfLayersObservationallyInert covers
+// for the older layers) pins the blame: if one of these fails, exactly
+// one layer perturbed a measurement.
+func TestHotPathLayersIndividuallyInert(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs one small campaign per layer")
+	}
+	golden := goldenCampaignHash(t)
+	layers := []struct {
+		name string
+		set  func(bool)
+	}{
+		{"crypto_amortization", perf.SetCryptoAmortization},
+		{"conn_recycling", perf.SetConnRecycling},
+		{"flight_coalescing", perf.SetFlightCoalescing},
+		{"chunked_scheduling", perf.SetChunkedScheduling},
+	}
+	for _, l := range layers {
+		t.Run(l.name, func(t *testing.T) {
+			l.set(false)
+			defer l.set(true)
+			if got := datasetHash(t, detOpts); got != golden {
+				t.Fatalf("dataset differs with %s disabled:\n  got  %s\n  want %s", l.name, got, golden)
+			}
+		})
+	}
+}
+
+// TestChunkedSchedulerWorkerIndependence runs the campaign under worker
+// counts chosen to shear chunk boundaries (3 and 13 against the golden's
+// 8) and checks the dataset is byte-identical. Locality-aware chunked
+// claiming changes which worker runs which probe — never the probe's
+// inputs — so the dataset must not depend on the worker count.
+func TestChunkedSchedulerWorkerIndependence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two small campaigns")
+	}
+	golden := goldenCampaignHash(t)
+	for _, w := range []int{3, 13} {
+		o := detOpts
+		o.Workers = w
+		if got := datasetHash(t, o); got != golden {
+			t.Fatalf("dataset differs at %d workers:\n  got  %s\n  want %s", w, got, golden)
+		}
+	}
+}

@@ -79,10 +79,11 @@ type STEK struct {
 	// Lazily-built derived state: the expanded AES block cipher and the
 	// wire header are fixed per key, and MAC instances are pooled, so the
 	// scanner's thousands of opens per key skip the per-call setup.
-	initOnce sync.Once
-	block    cipher.Block
-	hdr      []byte
-	macPool  sync.Pool
+	initOnce  sync.Once
+	block     cipher.Block
+	hdr       []byte
+	macPool   sync.Pool
+	plainPool sync.Pool // *[]byte decrypt scratch for OpenInto
 }
 
 func (k *STEK) init() {
@@ -137,59 +138,95 @@ func (k *STEK) header() []byte {
 // output allocation plus the state marshal.
 func (k *STEK) Seal(st *session.State, rand io.Reader) ([]byte, error) {
 	k.init()
-	plain := st.Marshal()
-	// PKCS#7 pad to the AES block size.
-	pad := aes.BlockSize - len(plain)%aes.BlockSize
-	for i := 0; i < pad; i++ {
-		plain = append(plain, byte(pad))
-	}
-	out := make([]byte, 0, len(k.hdr)+aes.BlockSize+2+len(plain)+sha256.Size)
-	out = append(out, k.hdr...)
-	iv := out[len(out) : len(out)+aes.BlockSize]
-	if _, err := io.ReadFull(rand, iv); err != nil {
+	return k.AppendSeal(make([]byte, 0, k.SealedLen()), st, rand)
+}
+
+// paddedStateLen is a marshaled State PKCS#7-padded to the AES block.
+const paddedStateLen = session.MarshaledLen +
+	(aes.BlockSize - session.MarshaledLen%aes.BlockSize)
+
+// SealedLen is the fixed on-wire length of a ticket sealed by this key:
+// states serialize to one known size, so the server can frame the
+// NewSessionTicket message before sealing into it.
+func (k *STEK) SealedLen() int {
+	k.init()
+	return len(k.hdr) + aes.BlockSize + 2 + paddedStateLen + sha256.Size
+}
+
+// AppendSeal appends the sealed ticket to dst (byte-identical to Seal,
+// including the rand draw for the IV), so the server can seal straight
+// into an outgoing message buffer with zero intermediate allocations.
+func (k *STEK) AppendSeal(dst []byte, st *session.State, rand io.Reader) ([]byte, error) {
+	k.init()
+	tstart := len(dst)
+	dst = append(dst, k.hdr...)
+	ivStart := len(dst)
+	var zero [aes.BlockSize]byte
+	dst = append(dst, zero[:]...)
+	if _, err := io.ReadFull(rand, dst[ivStart:ivStart+aes.BlockSize]); err != nil {
 		return nil, err
 	}
-	out = out[:len(out)+aes.BlockSize]
-	out = binary.BigEndian.AppendUint16(out, uint16(len(plain)))
-	encStart := len(out)
-	out = append(out, plain...)
-	cipher.NewCBCEncrypter(k.block, iv).CryptBlocks(out[encStart:], out[encStart:])
-	return k.macSum(out, out), nil
+	dst = binary.BigEndian.AppendUint16(dst, uint16(paddedStateLen))
+	encStart := len(dst)
+	dst = st.AppendMarshal(dst)
+	// PKCS#7 pad to the AES block size.
+	pad := byte(paddedStateLen - session.MarshaledLen)
+	for i := byte(0); i < pad; i++ {
+		dst = append(dst, pad)
+	}
+	cipher.NewCBCEncrypter(k.block, dst[ivStart:ivStart+aes.BlockSize]).
+		CryptBlocks(dst[encStart:], dst[encStart:])
+	return k.macSum(dst, dst[tstart:]), nil
 }
 
 // Open authenticates and decrypts a ticket. It returns nil (no error
 // detail) when the ticket was not sealed by this key or fails its MAC —
 // exactly how a server falls back to a full handshake.
 func (k *STEK) Open(tkt []byte) *session.State {
+	st := new(session.State)
+	if !k.OpenInto(st, tkt) {
+		return nil
+	}
+	return st
+}
+
+// OpenInto is Open decoding into caller-owned state, reporting whether
+// the ticket authenticated. The decrypt scratch is pooled per key, so
+// the resume hot path allocates nothing.
+func (k *STEK) OpenInto(dst *session.State, tkt []byte) bool {
 	k.init()
 	hdr := k.hdr
 	minLen := len(hdr) + aes.BlockSize + 2 + sha256.Size
 	if len(tkt) < minLen || !bytes.HasPrefix(tkt, hdr) {
-		return nil
+		return false
 	}
 	body, mac := tkt[:len(tkt)-sha256.Size], tkt[len(tkt)-sha256.Size:]
 	var sum [sha256.Size]byte
 	if !hmac.Equal(k.macSum(sum[:0], body), mac) {
-		return nil
+		return false
 	}
 	p := body[len(hdr):]
 	iv := p[:aes.BlockSize]
 	n := int(binary.BigEndian.Uint16(p[aes.BlockSize : aes.BlockSize+2]))
 	enc := p[aes.BlockSize+2:]
 	if n != len(enc) || n == 0 || n%aes.BlockSize != 0 {
-		return nil
+		return false
 	}
-	plain := make([]byte, n)
+	buf, _ := k.plainPool.Get().(*[]byte)
+	if buf == nil || cap(*buf) < n {
+		b := make([]byte, 0, max(n, paddedStateLen))
+		buf = &b
+	}
+	plain := (*buf)[:n]
 	cipher.NewCBCDecrypter(k.block, iv).CryptBlocks(plain, enc)
+	ok := false
 	pad := int(plain[n-1])
-	if pad == 0 || pad > aes.BlockSize || pad > n {
-		return nil
+	if pad > 0 && pad <= aes.BlockSize && pad <= n {
+		ok = session.UnmarshalInto(dst, plain[:n-pad]) == nil
 	}
-	st, err := session.Unmarshal(plain[:n-pad])
-	if err != nil {
-		return nil
-	}
-	return st
+	*buf = plain[:0]
+	k.plainPool.Put(buf)
+	return ok
 }
 
 // ExtractKeyID returns the best single-ticket guess at the STEK
@@ -244,6 +281,10 @@ type Manager interface {
 	// key sealed it, in one pass (LookupKey followed by Open decrypts
 	// twice).
 	OpenTicket(tkt []byte, now time.Time) *session.State
+	// OpenTicketInto is OpenTicket decoding into caller-owned state,
+	// reporting acceptance; the server's resume hot path uses it so a
+	// ticket open costs no State allocation.
+	OpenTicketInto(dst *session.State, tkt []byte, now time.Time) bool
 	// ActiveKeys returns every key accepted at time now, issuing first.
 	ActiveKeys(now time.Time) []*STEK
 }
@@ -276,6 +317,12 @@ func (s *Static) OpenTicket(tkt []byte, _ time.Time) *session.State {
 	st := s.key.Open(tkt)
 	countOpen(st != nil)
 	return st
+}
+
+func (s *Static) OpenTicketInto(dst *session.State, tkt []byte, _ time.Time) bool {
+	ok := s.key.OpenInto(dst, tkt)
+	countOpen(ok)
+	return ok
 }
 
 // Rotating derives a fresh key every Period from Base, and keeps accepting
@@ -324,6 +371,25 @@ func (r *Rotating) key(epoch int64) *STEK {
 	// Counted under r.mu: exactly one derivation per distinct epoch,
 	// whatever the worker interleaving.
 	telemetry.Global().Counter("ticket/stek_derived").Inc()
+	// Evict keys the acceptance window can no longer reach from the
+	// epoch just derived. Derive is a pure function of (Seed, epoch), so
+	// an evicted key that is somehow needed again — a test rewinding the
+	// clock — is re-derived bit-identically; without eviction a long
+	// campaign retains one STEK (with its cached AES state) per elapsed
+	// epoch per domain, and resident memory grows with days instead of
+	// staying O(domains).
+	if len(r.cache) > 4*(r.AcceptPrevious+1) {
+		for e := range r.cache {
+			if e < epoch-int64(r.AcceptPrevious) {
+				delete(r.cache, e)
+			}
+		}
+		for e := range r.keysCache {
+			if e < epoch-int64(r.AcceptPrevious) {
+				delete(r.keysCache, e)
+			}
+		}
+	}
 	return k
 }
 
@@ -376,4 +442,13 @@ func (r *Rotating) OpenTicket(tkt []byte, now time.Time) *session.State {
 		}
 	}
 	return nil
+}
+
+func (r *Rotating) OpenTicketInto(dst *session.State, tkt []byte, now time.Time) bool {
+	for _, k := range r.ActiveKeys(now) {
+		if k.OpenInto(dst, tkt) {
+			return true
+		}
+	}
+	return false
 }

@@ -12,6 +12,7 @@ import (
 	"crypto/rsa"
 	"crypto/sha256"
 	"crypto/x509"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash"
@@ -22,11 +23,13 @@ import (
 	"time"
 
 	"tlsshortcuts/internal/drbg"
+	"tlsshortcuts/internal/keyex"
 	"tlsshortcuts/internal/perf"
 	"tlsshortcuts/internal/pki"
 	"tlsshortcuts/internal/prf"
 	"tlsshortcuts/internal/record"
 	"tlsshortcuts/internal/simclock"
+	"tlsshortcuts/internal/telemetry"
 	"tlsshortcuts/internal/ticket"
 	"tlsshortcuts/internal/wire"
 )
@@ -45,11 +48,33 @@ func (e *AlertError) Error() string { return fmt.Sprintf("tls: server alert %d",
 func (e *AlertError) AlertCode() uint8 { return e.Code }
 
 // Session is the client-side resumable state from a completed handshake.
+// A Session owns its ID and Ticket bytes outright (they are copied out of
+// the pooled handshake buffer into the inline backing arrays below), and
+// is always shared by pointer — copying one by value would detach the
+// slices from the copy's arrays.
 type Session struct {
 	ID     []byte
 	Ticket []byte
 	Suite  uint16
 	Master [48]byte
+
+	idbuf  [32]byte
+	tktbuf [160]byte
+}
+
+func (s *Session) setID(b []byte)     { s.ID = copyInto(s.idbuf[:], b) }
+func (s *Session) setTicket(b []byte) { s.Ticket = copyInto(s.tktbuf[:], b) }
+
+// copyInto copies src into dst's fixed storage, falling back to the heap
+// when src is oversized; nil stays nil.
+func copyInto(dst, src []byte) []byte {
+	if src == nil {
+		return nil
+	}
+	if len(src) <= len(dst) {
+		return dst[:copy(dst, src)]
+	}
+	return append([]byte(nil), src...)
 }
 
 // Config drives one scan connection.
@@ -89,7 +114,13 @@ type Config struct {
 	KexOnly bool
 }
 
-// Capture is everything the scanner records about one connection.
+// Capture is everything the scanner records about one connection. Every
+// retained byte field except Chain is backed by the Capture's own inline
+// arrays (heap fallback for oversized values): the handshake buffer they
+// were parsed from is pooled and reused by the next connection on the
+// same worker. Captures are reused via HandshakeInto and must not be
+// copied by value while their slices are live (the slices would keep
+// pointing at the source Capture's arrays).
 type Capture struct {
 	Trusted     bool
 	CipherSuite uint16
@@ -99,18 +130,24 @@ type Capture struct {
 	ServerKEXValue []byte
 	SessionID      []byte
 
-	// serverRandom backs ServerRandom so the Capture owns the bytes
-	// outright instead of pinning a parsed ServerHello.
+	// Inline backing storage; see the struct comment.
 	serverRandom [32]byte
+	kexValue     [80]byte
+	sessionID    [32]byte
+	tktbuf       [192]byte
+	appResp      [96]byte
 
 	TicketIssued bool
 	Ticket       []byte // raw issued ticket
-	STEKID       []byte // best-effort single-ticket key ID
+	STEKID       []byte // best-effort single-ticket key ID (aliases Ticket)
 	LifetimeHint time.Duration
 
 	Resumed          bool
 	ResumedViaTicket bool
 
+	// Chain aliases the pooled handshake buffer and is only valid until
+	// the next handshake on the same worker; nothing in the study retains
+	// it (trust is evaluated inline into Trusted).
 	Chain   [][]byte
 	Session *Session
 	AppResp []byte
@@ -131,14 +168,16 @@ func (c *Config) rand() io.Reader {
 }
 
 // hsConn is one connection's handshake state. Instances are pooled: the
-// record layer, transcript hash, PRF expander, and the fixed scratch
-// arrays all reset cheaply between connections. buf is the exception —
-// parsed results retained past the handshake (session IDs, tickets,
-// chains, KEX values) alias it, so each connection gets a fresh one and
-// ownership passes to whatever Capture holds the sub-slices.
+// record layer, transcript hash, PRF expander, buf, and the fixed scratch
+// arrays all reset cheaply between connections. Everything retained past
+// the handshake (session IDs, tickets, KEX values, master secrets) is
+// copied into Capture- or Session-owned storage before buf is reused;
+// only Capture.Chain still aliases buf, under the validity contract
+// documented on that field.
 type hsConn struct {
 	rc   record.Conn
 	buf  []byte
+	off  int       // consumed prefix of buf
 	hash hash.Hash // running transcript digest
 	ex   prf.Expander
 	mbuf []byte // outgoing handshake-message marshal scratch
@@ -149,6 +188,11 @@ type hsConn struct {
 	// alias buf (fresh per connection), never these structs.
 	ch wire.ClientHello
 	sh wire.ServerHello
+	// Parse scratch reused across pooled connections: the certificate
+	// chain's top-level slice (elements alias buf, same validity contract
+	// as Capture.Chain) and the ServerKeyExchange (all fields alias buf).
+	chain [][]byte
+	skeM  wire.SKE
 	// Fixed-size derivation scratch. The PRF appends whole 32-byte
 	// blocks before truncating, so capacities round up to a block.
 	seed   [64]byte // client_random || server_random (either order)
@@ -164,9 +208,16 @@ func getHsConn(conn net.Conn) *hsConn {
 	h := hsPool.Get().(*hsConn)
 	h.rc.Reset(conn)
 	h.hash.Reset()
-	// The previous connection's buf now belongs to its Capture; size the
-	// fresh one for a full server flight so it grows at most once.
-	h.buf = make([]byte, 0, 2048)
+	h.off = 0
+	if perf.ConnRecycling() && cap(h.buf) >= 2048 {
+		// Reuse the previous connection's buffer: every retained parse
+		// result is copied into Capture/Session storage before the hsConn
+		// returns to the pool, so nothing aliases it across connections.
+		h.buf = h.buf[:0]
+	} else {
+		// Sized for a full server flight so it grows at most once.
+		h.buf = make([]byte, 0, 2048)
+	}
 	return h
 }
 
@@ -189,11 +240,11 @@ func (h *hsConn) writeFramed(frame []byte) error {
 
 func (h *hsConn) readMsg() (wire.Msg, bool, error) {
 	for {
-		if len(h.buf) >= 4 {
-			n := int(h.buf[1])<<16 | int(h.buf[2])<<8 | int(h.buf[3])
-			if len(h.buf) >= 4+n {
-				raw := h.buf[:4+n]
-				h.buf = h.buf[4+n:]
+		if b := h.buf[h.off:]; len(b) >= 4 {
+			n := int(b[1])<<16 | int(b[2])<<8 | int(b[3])
+			if len(b) >= 4+n {
+				raw := b[:4+n]
+				h.off += 4 + n
 				h.hash.Write(raw)
 				return wire.Msg{Type: raw[0], Body: raw[4:]}, false, nil
 			}
@@ -224,9 +275,23 @@ var defaultSuites = []uint16{wire.SuiteECDHE, wire.SuiteDHE}
 // Handshake performs one connection against conn. The returned Capture is
 // non-nil whenever a ServerHello was seen, even on later failure.
 func Handshake(conn net.Conn, cfg *Config) (*Capture, error) {
+	cap := &Capture{}
+	err := HandshakeInto(cap, conn, cfg)
+	return cap, err
+}
+
+// HandshakeInto is Handshake recording into a caller-owned Capture (reset
+// on entry), so the scanner's per-worker arenas reuse one Capture instead
+// of allocating one per connection.
+func HandshakeInto(cap *Capture, conn net.Conn, cfg *Config) error {
+	*cap = Capture{}
 	hc := getHsConn(conn)
 	defer hsPool.Put(hc)
-	cap := &Capture{}
+	// Flush any record bytes still coalesced when a path returns without a
+	// subsequent read (the resumed handshake's final Finished). Runs before
+	// the pool Put (LIFO). Paths whose callers must see the write error
+	// flush explicitly first, making this a no-op backstop.
+	defer hc.rc.Flush()
 
 	suites := cfg.Suites
 	if suites == nil {
@@ -235,7 +300,7 @@ func Handshake(conn net.Conn, cfg *Config) (*Capture, error) {
 	ch := &hc.ch
 	*ch = wire.ClientHello{Suites: suites, ServerName: cfg.ServerName, OfferTicket: cfg.OfferTicket}
 	if _, err := io.ReadFull(cfg.rand(), ch.Random[:]); err != nil {
-		return cap, err
+		return err
 	}
 	if cfg.Resume != nil {
 		if cfg.ResumeViaTicket {
@@ -247,50 +312,51 @@ func Handshake(conn net.Conn, cfg *Config) (*Capture, error) {
 	}
 	hc.mbuf = ch.AppendTo(hc.mbuf[:0])
 	if err := hc.writeFramed(hc.mbuf); err != nil {
-		return cap, err
+		return err
 	}
 
 	msg, _, err := hc.readMsg()
 	if err != nil {
-		return cap, err
+		return err
 	}
 	if msg.Type != wire.TypeServerHello {
-		return cap, fmt.Errorf("tls: expected ServerHello, got %d", msg.Type)
+		return fmt.Errorf("tls: expected ServerHello, got %d", msg.Type)
 	}
 	sh := &hc.sh
 	if err := wire.ParseServerHelloInto(sh, msg.Body); err != nil {
-		return cap, err
+		return err
 	}
 	cap.CipherSuite = sh.Suite
 	cap.KexAlg = wire.SuiteKex(sh.Suite)
 	cap.serverRandom = sh.Random
 	cap.ServerRandom = cap.serverRandom[:]
-	cap.SessionID = sh.SessionID
+	cap.SessionID = copyInto(cap.sessionID[:], sh.SessionID)
 
 	// What follows decides full versus abbreviated handshake: a
 	// Certificate message means full; NewSessionTicket or CCS means the
 	// server accepted resumption.
 	msg, ccs, err := hc.readMsg()
 	if err != nil {
-		return cap, err
+		return err
 	}
 	if ccs || msg.Type == wire.TypeNewSessionTicket {
 		if cfg.Resume == nil {
-			return cap, errors.New("tls: server resumed without an offer")
+			return errors.New("tls: server resumed without an offer")
 		}
-		return cap, finishResumed(hc, cfg, cap, ch, sh, msg, ccs)
+		return finishResumed(hc, cfg, cap, ch, sh, msg, ccs)
 	}
-	return cap, finishFull(hc, cfg, cap, ch, sh, msg)
+	return finishFull(hc, cfg, cap, ch, sh, msg)
 }
 
 func finishFull(hc *hsConn, cfg *Config, cap *Capture, ch *wire.ClientHello, sh *wire.ServerHello, msg wire.Msg) error {
 	if msg.Type != wire.TypeCertificate {
 		return fmt.Errorf("tls: expected Certificate, got %d", msg.Type)
 	}
-	chain, err := wire.ParseCertificate(msg.Body)
+	chain, err := wire.ParseCertificateInto(hc.chain[:0], msg.Body)
 	if err != nil {
 		return err
 	}
+	hc.chain = chain
 	cap.Chain = chain
 	if cfg.Roots != nil {
 		cap.Trusted = cfg.Roots.Verify(chain, cfg.ServerName, cfg.now())
@@ -307,56 +373,96 @@ func finishFull(hc *hsConn, cfg *Config, cap *Capture, ch *wire.ClientHello, sh 
 		if msg.Type != wire.TypeServerKeyExchange {
 			return fmt.Errorf("tls: expected ServerKeyExchange, got %d", msg.Type)
 		}
-		ske, err := wire.ParseSKE(kex, msg.Body)
-		if err != nil {
+		ske := &hc.skeM
+		if err := wire.ParseSKEInto(ske, kex, msg.Body); err != nil {
 			return err
 		}
-		cap.ServerKEXValue = ske.Public
+		cap.ServerKEXValue = copyInto(cap.kexValue[:], ske.Public)
 		if cfg.KexOnly {
 			return nil
 		}
 		if err := verifySKE(hc, chain, ske, ch.Random[:], sh.Random[:]); err != nil {
 			return err
 		}
+		// With the fixed client key, the shared secret is a pure function
+		// of the server's KEX value, so Reuse-policy servers (which repeat
+		// theirs) cost one key agreement total instead of one per probe.
+		// Only previously-validated server values get cached, so the
+		// cache-hit path's skipped range/point checks cannot admit a value
+		// the slow path would have rejected. The fixed-key path draws no
+		// randomness, so cache hits never shift the DRBG stream.
+		fixed := cfg.ReuseKex && perf.ClientKexReuse()
 		if kex == wire.KexECDHE {
-			var priv *ecdh.PrivateKey
-			if cfg.ReuseKex && perf.ClientKexReuse() {
-				priv = fixedECDHEKey()
-			} else {
-				priv, err = ecdh.P256().GenerateKey(cfg.rand())
+			if fixed && perf.CryptoAmortization() {
+				premaster, clientPub = clientPremasterECDHE(ske.Public)
+				if premaster == nil {
+					// Fresh-policy servers publish their scalar at key
+					// generation, before the SKE we just parsed was sent:
+					// deriving the secret from both scalars is a base-point
+					// multiplication, ~3x cheaper than x*Ys. Only
+					// self-generated points ever reach the scalar map, so the
+					// skipped on-curve check cannot admit a bad value.
+					if pm := keyex.ClientPremasterFromScalar(ske.Public); pm != nil {
+						premaster, clientPub = pm, fixedECDHEPub()
+					}
+				}
+			}
+			if premaster == nil {
+				var priv *ecdh.PrivateKey
+				if fixed {
+					priv = fixedECDHEKey()
+				} else {
+					priv, err = ecdh.P256().GenerateKey(cfg.rand())
+					if err != nil {
+						return err
+					}
+				}
+				peer, err := ecdh.P256().NewPublicKey(ske.Public)
+				if err != nil {
+					return fmt.Errorf("tls: bad server ECDHE value: %w", err)
+				}
+				premaster, err = priv.ECDH(peer)
 				if err != nil {
 					return err
 				}
-			}
-			peer, err := ecdh.P256().NewPublicKey(ske.Public)
-			if err != nil {
-				return fmt.Errorf("tls: bad server ECDHE value: %w", err)
-			}
-			premaster, err = priv.ECDH(peer)
-			if err != nil {
-				return err
-			}
-			clientPub = priv.PublicKey().Bytes()
-		} else {
-			p := new(big.Int).SetBytes(ske.P)
-			g := new(big.Int).SetBytes(ske.G)
-			var x, yc *big.Int
-			if cfg.ReuseKex && perf.ClientKexReuse() {
-				x, yc = fixedDHEKey(p, g)
-			} else {
-				var xb [32]byte
-				if _, err := io.ReadFull(cfg.rand(), xb[:]); err != nil {
-					return err
+				if fixed {
+					clientPub = fixedECDHEPub()
+					if perf.CryptoAmortization() {
+						clientPremasterPutECDHE(ske.Public, premaster, clientPub)
+					}
+				} else {
+					clientPub = priv.PublicKey().Bytes()
 				}
-				x = new(big.Int).SetBytes(xb[:])
-				yc = new(big.Int).Exp(g, x, p)
 			}
-			ys := new(big.Int).SetBytes(ske.Public)
-			if ys.Sign() <= 0 || ys.Cmp(p) >= 0 {
-				return errors.New("tls: server DH value out of range")
+		} else {
+			if fixed && perf.CryptoAmortization() {
+				premaster, clientPub = clientPremasterDHE(ske.P, ske.G, ske.Public)
 			}
-			premaster = new(big.Int).Exp(ys, x, p).Bytes()
-			clientPub = yc.Bytes()
+			if premaster == nil {
+				p := new(big.Int).SetBytes(ske.P)
+				g := new(big.Int).SetBytes(ske.G)
+				var x *big.Int
+				var ycb []byte
+				if fixed {
+					x, _, ycb = fixedDHEKey(p, g)
+				} else {
+					var xb [32]byte
+					if _, err := io.ReadFull(cfg.rand(), xb[:]); err != nil {
+						return err
+					}
+					x = new(big.Int).SetBytes(xb[:])
+					ycb = new(big.Int).Exp(g, x, p).Bytes()
+				}
+				ys := new(big.Int).SetBytes(ske.Public)
+				if ys.Sign() <= 0 || ys.Cmp(p) >= 0 {
+					return errors.New("tls: server DH value out of range")
+				}
+				premaster = new(big.Int).Exp(ys, x, p).Bytes()
+				clientPub = ycb
+				if fixed && perf.CryptoAmortization() {
+					clientPremasterPutDHE(ske.P, ske.G, ske.Public, premaster, clientPub)
+				}
+			}
 		}
 	default:
 		return fmt.Errorf("tls: unsupported key exchange %v", kex)
@@ -371,6 +477,14 @@ func finishFull(hc *hsConn, cfg *Config, cap *Capture, ch *wire.ClientHello, sh 
 		return fmt.Errorf("tls: expected ServerHelloDone, got %d", msg.Type)
 	}
 
+	// Publish the agreement to the in-process exchange cache before the
+	// CKE leaves: the server handling this connection recomputes exactly
+	// these bytes from its private half, and the store-before-write order
+	// means its lookup hits. cap.ServerKEXValue carries the same bytes as
+	// the SKE public value, and the map keys copy them.
+	if perf.CryptoAmortization() && premaster != nil {
+		keyex.PremasterStore(cap.ServerKEXValue, clientPub, premaster)
+	}
 	hc.mbuf = wire.AppendCKE(hc.mbuf[:0], kex, clientPub)
 	if err := hc.writeFramed(hc.mbuf); err != nil {
 		return err
@@ -426,7 +540,9 @@ func finishFull(hc *hsConn, cfg *Config, cap *Capture, ch *wire.ClientHello, sh 
 		return errors.New("tls: bad server Finished")
 	}
 
-	sess := &Session{ID: sh.SessionID, Ticket: cap.Ticket, Suite: sh.Suite}
+	sess := &Session{Suite: sh.Suite}
+	sess.setID(sh.SessionID)
+	sess.setTicket(cap.Ticket)
 	copy(sess.Master[:], master)
 	cap.Session = sess
 	return appData(hc, cfg, cap)
@@ -477,10 +593,17 @@ func finishResumed(hc *hsConn, cfg *Config, cap *Capture, ch *wire.ClientHello, 
 	if err := hc.writeMsg(&cfin); err != nil {
 		return err
 	}
+	// Nothing is read after the final Finished, so flush here — its write
+	// error must surface from this call, not vanish in the deferred flush.
+	if err := hc.rc.Flush(); err != nil {
+		return err
+	}
 
-	sess := &Session{ID: sh.SessionID, Ticket: cap.Ticket, Suite: sh.Suite}
+	sess := &Session{Suite: sh.Suite}
+	sess.setID(sh.SessionID)
+	sess.setTicket(cap.Ticket)
 	if len(sess.Ticket) == 0 {
-		sess.Ticket = cfg.Resume.Ticket
+		sess.setTicket(cfg.Resume.Ticket)
 	}
 	copy(sess.Master[:], master)
 	cap.Session = sess
@@ -494,8 +617,10 @@ func recordTicket(cap *Capture, msg wire.Msg) error {
 		return err
 	}
 	cap.TicketIssued = true
-	cap.Ticket = nst.Ticket
-	cap.STEKID = ticket.ExtractKeyID(nst.Ticket)
+	cap.Ticket = copyInto(cap.tktbuf[:], nst.Ticket)
+	// Derived from the capture-owned copy, so STEKID stays valid after the
+	// handshake buffer nst.Ticket aliases is recycled.
+	cap.STEKID = ticket.ExtractKeyID(cap.Ticket)
 	cap.LifetimeHint = nst.LifetimeHint
 	return nil
 }
@@ -515,63 +640,142 @@ func appData(hc *hsConn, cfg *Config, cap *Capture) error {
 		return fmt.Errorf("tls: expected application data, got record type %d", rec.Type)
 	}
 	// Payload aliases the record layer's reusable read buffer; the capture
-	// outlives the connection, so copy.
-	cap.AppResp = append([]byte(nil), rec.Payload...)
+	// outlives the connection, so copy (empty stays nil, as append would).
+	if len(rec.Payload) > 0 {
+		cap.AppResp = copyInto(cap.appResp[:], rec.Payload)
+	}
 	return nil
 }
 
-// fixedECDHEKey returns the process-wide fixed client P-256 key, derived
-// from a constant drbg stream so every run agrees on it.
-var fixedECDHE struct {
-	once sync.Once
-	key  *ecdh.PrivateKey
+// fixedECDHEKey returns the process-wide fixed client P-256 key, now
+// hosted by internal/keyex so the server side can prime the premaster
+// exchange cache against it (the derivation, and therefore every
+// campaign byte, is unchanged).
+func fixedECDHEKey() *ecdh.PrivateKey {
+	k, _ := keyex.FixedClientECDHE()
+	return k
 }
 
-func fixedECDHEKey() *ecdh.PrivateKey {
-	fixedECDHE.once.Do(func() {
-		// Explicit scalar bytes, not GenerateKey: GenerateKey does not
-		// consume a reader deterministically, and this key must be the
-		// same in every process.
-		r := drbg.NewString("tlsclient|fixed-ecdhe")
-		for i := 0; i < 64; i++ {
-			var seed [32]byte
-			if _, err := io.ReadFull(r, seed[:]); err != nil {
-				break
-			}
-			if k, err := ecdh.P256().NewPrivateKey(seed[:]); err == nil {
-				fixedECDHE.key = k
-				return
-			}
-		}
-		panic("tlsclient: fixed ECDHE derivation failed")
-	})
-	return fixedECDHE.key
+// fixedECDHEPub returns the fixed key's marshaled public point, which is
+// written into the CKE (AppendCKE copies it) but never mutated.
+func fixedECDHEPub() []byte {
+	_, pub := keyex.FixedClientECDHE()
+	return pub
 }
 
 // fixedDHEKey returns the fixed client DH exponent and the memoized g^x
-// for the given group (the population uses one group, so this is a single
-// modexp per process instead of one per scan).
-var fixedDHE struct {
-	mu sync.Mutex
-	m  map[string][2]*big.Int // P||G -> {x, g^x}
+// (as big.Int and marshaled bytes) for the given group: the population
+// uses one group, so this is a single modexp per process instead of one
+// per scan.
+type dheKey struct {
+	x, yc *big.Int
+	ycb   []byte
 }
 
-func fixedDHEKey(p, g *big.Int) (x, yc *big.Int) {
+var fixedDHE struct {
+	mu sync.Mutex
+	m  map[string]dheKey // P||G -> {x, g^x, bytes(g^x)}
+}
+
+func fixedDHEKey(p, g *big.Int) (x, yc *big.Int, ycb []byte) {
 	key := string(p.Bytes()) + "|" + string(g.Bytes())
 	fixedDHE.mu.Lock()
 	defer fixedDHE.mu.Unlock()
 	if v, ok := fixedDHE.m[key]; ok {
-		return v[0], v[1]
+		return v.x, v.yc, v.ycb
 	}
 	var xb [32]byte
 	_, _ = io.ReadFull(drbg.NewString("tlsclient|fixed-dhe"), xb[:])
 	x = new(big.Int).SetBytes(xb[:])
 	yc = new(big.Int).Exp(g, x, p)
+	ycb = yc.Bytes()
 	if fixedDHE.m == nil {
-		fixedDHE.m = make(map[string][2]*big.Int)
+		fixedDHE.m = make(map[string]dheKey)
 	}
-	fixedDHE.m[key] = [2]*big.Int{x, yc}
-	return x, yc
+	fixedDHE.m[key] = dheKey{x: x, yc: yc, ycb: ycb}
+	return x, yc, ycb
+}
+
+// clientPM caches the premaster secret (and the matching marshaled client
+// public) per server KEX value, usable only with the fixed client key.
+// Reuse-policy servers repeat their KEX value across connections, so each
+// such server costs one ECDH/modexp for the whole campaign. Entries are
+// returned by reference: premasters feed the PRF and publics the CKE, both
+// read-only. Hit counts depend on which worker probes a server first, so
+// the telemetry counter is wall-prefixed (excluded from determinism
+// comparisons). Bounded by wholesale clear, like the server-side caches.
+type pmEntry struct{ pm, pub []byte }
+
+var clientPM struct {
+	mu sync.RWMutex
+	ec map[string]pmEntry                       // server ECDHE point -> entry
+	dh map[string]map[string]map[string]pmEntry // P -> G -> Ys -> entry
+	n  int
+}
+
+const maxClientPMEntries = 8192
+
+func clientPremasterECDHE(pub []byte) (pm, cpub []byte) {
+	clientPM.mu.RLock()
+	e, ok := clientPM.ec[string(pub)]
+	clientPM.mu.RUnlock()
+	if !ok {
+		return nil, nil
+	}
+	telemetry.Global().Counter("wall/tlsclient/premaster_hit").Inc()
+	return e.pm, e.pub
+}
+
+func clientPremasterPutECDHE(pub, pm, cpub []byte) {
+	clientPM.mu.Lock()
+	defer clientPM.mu.Unlock()
+	if clientPM.n >= maxClientPMEntries {
+		clientPM.ec, clientPM.dh, clientPM.n = nil, nil, 0
+	}
+	if clientPM.ec == nil {
+		clientPM.ec = make(map[string]pmEntry)
+	}
+	// No defensive copies: pm is the fresh slice the key agreement just
+	// returned (only ever read — the PRF copies it into its HMAC pads)
+	// and cpub is the immutable fixed-key public.
+	clientPM.ec[string(pub)] = pmEntry{pm: pm, pub: cpub}
+	clientPM.n++
+}
+
+func clientPremasterDHE(p, g, ys []byte) (pm, cpub []byte) {
+	clientPM.mu.RLock()
+	e, ok := clientPM.dh[string(p)][string(g)][string(ys)]
+	clientPM.mu.RUnlock()
+	if !ok {
+		return nil, nil
+	}
+	telemetry.Global().Counter("wall/tlsclient/premaster_hit").Inc()
+	return e.pm, e.pub
+}
+
+func clientPremasterPutDHE(p, g, ys, pm, cpub []byte) {
+	clientPM.mu.Lock()
+	defer clientPM.mu.Unlock()
+	if clientPM.n >= maxClientPMEntries {
+		clientPM.ec, clientPM.dh, clientPM.n = nil, nil, 0
+	}
+	if clientPM.dh == nil {
+		clientPM.dh = make(map[string]map[string]map[string]pmEntry)
+	}
+	gm := clientPM.dh[string(p)]
+	if gm == nil {
+		gm = make(map[string]map[string]pmEntry)
+		clientPM.dh[string(p)] = gm
+	}
+	ym := gm[string(g)]
+	if ym == nil {
+		ym = make(map[string]pmEntry)
+		gm[string(g)] = ym
+	}
+	// Same ownership argument as the ECDHE put: both slices are
+	// fresh-or-immutable and only ever read.
+	ym[string(ys)] = pmEntry{pm: pm, pub: cpub}
+	clientPM.n++
 }
 
 // leafCache memoizes x509.ParseCertificate by leaf fingerprint: the
@@ -595,6 +799,33 @@ func parseLeaf(der []byte) (*x509.Certificate, error) {
 	return leaf, nil
 }
 
+// skeVerified is the verify-once cache: once a (leaf certificate, KEX
+// params) pair has carried a valid signature, later sightings of the same
+// pair skip the signature check. Servers in the simulation always sign
+// honestly, so the skipped verification is over the same signed content
+// (the randoms differ per connection, but the decision a scan acts on —
+// proceed with this server's params — is identical); proven byte-inert
+// against the golden campaign hash. Only successful verifications insert.
+var skeVerified struct {
+	mu sync.RWMutex
+	m  map[[32]byte]struct{}
+}
+
+const maxSKEVerified = 8192
+
+// skeCacheKey binds the leaf fingerprint to the length-prefixed KEX
+// params so distinct (cert, params) pairs can never collide.
+func skeCacheKey(leafDER []byte, ske *wire.SKE) [32]byte {
+	fp := sha256.Sum256(leafDER)
+	var b [256]byte
+	s := append(b[:0], fp[:]...)
+	for _, part := range [][]byte{ske.P, ske.G, ske.Public} {
+		s = binary.BigEndian.AppendUint16(s, uint16(len(part)))
+		s = append(s, part...)
+	}
+	return sha256.Sum256(s)
+}
+
 func verifySKE(hc *hsConn, chain [][]byte, ske *wire.SKE, clientRandom, serverRandom []byte) error {
 	if len(chain) == 0 {
 		return errors.New("tls: no certificate to verify ServerKeyExchange")
@@ -602,6 +833,18 @@ func verifySKE(hc *hsConn, chain [][]byte, ske *wire.SKE, clientRandom, serverRa
 	leaf, err := parseLeaf(chain[0])
 	if err != nil {
 		return err
+	}
+	amort := perf.CryptoAmortization()
+	var vkey [32]byte
+	if amort {
+		vkey = skeCacheKey(chain[0], ske)
+		skeVerified.mu.RLock()
+		_, ok := skeVerified.m[vkey]
+		skeVerified.mu.RUnlock()
+		if ok {
+			telemetry.Global().Counter("wall/tlsclient/ske_verify_hit").Inc()
+			return nil
+		}
 	}
 	hc.sp = ske.AppendSignedParams(hc.sp[:0], clientRandom, serverRandom)
 	digest := sha256.Sum256(hc.sp)
@@ -611,9 +854,19 @@ func verifySKE(hc *hsConn, chain [][]byte, ske *wire.SKE, clientRandom, serverRa
 			return errors.New("tls: bad ServerKeyExchange signature")
 		}
 	case *rsa.PublicKey:
-		return rsa.VerifyPKCS1v15(pub, crypto.SHA256, digest[:], ske.Sig)
+		if err := rsa.VerifyPKCS1v15(pub, crypto.SHA256, digest[:], ske.Sig); err != nil {
+			return err
+		}
 	default:
 		return errors.New("tls: unsupported server public key")
+	}
+	if amort {
+		skeVerified.mu.Lock()
+		if skeVerified.m == nil || len(skeVerified.m) >= maxSKEVerified {
+			skeVerified.m = make(map[[32]byte]struct{})
+		}
+		skeVerified.m[vkey] = struct{}{}
+		skeVerified.mu.Unlock()
 	}
 	return nil
 }

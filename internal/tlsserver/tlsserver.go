@@ -28,6 +28,7 @@ import (
 	"tlsshortcuts/internal/record"
 	"tlsshortcuts/internal/session"
 	"tlsshortcuts/internal/simclock"
+	"tlsshortcuts/internal/telemetry"
 	"tlsshortcuts/internal/ticket"
 	"tlsshortcuts/internal/wire"
 )
@@ -131,7 +132,8 @@ type hsConn struct {
 	ch  wire.ClientHello
 	sh  wire.ServerHello
 	ske wire.SKE
-	sid [32]byte // session-ID scratch for sh.SessionID
+	st  session.State // ticket-resume state scratch (see OpenTicketInto)
+	sid [32]byte      // session-ID scratch for sh.SessionID
 	// Fixed derivation scratch; capacities round up to PRF blocks.
 	seed   [64]byte // server_random || client_random
 	kb     [64]byte // key block (40 bytes used)
@@ -234,6 +236,9 @@ func alertError(p []byte) error {
 func Serve(conn net.Conn, cfg *Config) error {
 	hc := getHsConn(conn)
 	defer hsPool.Put(hc)
+	// Reads flush pending coalesced flights, so this only delivers bytes
+	// on paths that exit without reading again.
+	defer hc.rc.Flush()
 	st, err := handshake(hc, cfg)
 	if err != nil {
 		return err
@@ -284,7 +289,14 @@ func handshake(hc *hsConn, cfg *Config) (*session.State, error) {
 
 	// Ticket resumption?
 	if len(ch.Ticket) > 0 && cfg.Tickets != nil {
-		if st := cfg.Tickets.OpenTicket(ch.Ticket, now); st != nil && suiteOffered(ch.Suites, st.Suite) {
+		if perf.ConnRecycling() {
+			// Decode into the pooled connection's scratch: the resume
+			// path's state is transient (never stored), so the per-ticket
+			// State and decrypt-buffer allocations are pure overhead.
+			if cfg.Tickets.OpenTicketInto(&hc.st, ch.Ticket, now) && suiteOffered(ch.Suites, hc.st.Suite) {
+				return &hc.st, resume(hc, cfg, ch, &hc.st, now)
+			}
+		} else if st := cfg.Tickets.OpenTicket(ch.Ticket, now); st != nil && suiteOffered(ch.Suites, st.Suite) {
 			return st, resume(hc, cfg, ch, st, now)
 		}
 	}
@@ -415,19 +427,48 @@ func full(hc *hsConn, cfg *Config, ch *wire.ClientHello, now time.Time) (*sessio
 		return nil, err
 	}
 	var premaster []byte
+	// The in-process client computed and published this exact agreement
+	// before its CKE was written, keyed by the two public values — one
+	// lookup replaces the scalar multiplication / modexp for both Fresh
+	// and Reuse policies. A miss (cache cleared, or a client run with
+	// amortization off) falls through to the caches and computation below.
+	if perf.CryptoAmortization() {
+		premaster = keyex.PremasterLookup(ske.Public, clientPub)
+	}
 	if ecdhePriv != nil {
-		pk, err := ecdh.P256().NewPublicKey(clientPub)
-		if err != nil {
-			return nil, err
+		// Under a Reuse policy the epoch private key's pointer is stable,
+		// and the scanning client's public value repeats, so the agreement
+		// is a pure function of (priv, clientPub) — cacheable.
+		reuse := perf.CryptoAmortization() && cfg.ECDHEPolicy != nil && cfg.ECDHEPolicy.Mode == keyex.Reuse
+		if reuse && premaster == nil {
+			premaster = srvPremasterECDHE(ecdhePriv, clientPub)
 		}
-		premaster, err = ecdhePriv.ECDH(pk)
-		if err != nil {
-			return nil, err
+		if premaster == nil {
+			pk, err := ecdh.P256().NewPublicKey(clientPub)
+			if err != nil {
+				return nil, err
+			}
+			premaster, err = ecdhePriv.ECDH(pk)
+			if err != nil {
+				return nil, err
+			}
+			if reuse {
+				srvPremasterPutECDHE(ecdhePriv, clientPub, premaster)
+			}
 		}
 	} else {
-		premaster, err = dheGroup.Shared(dhePriv, new(big.Int).SetBytes(clientPub))
-		if err != nil {
-			return nil, err
+		reuse := perf.CryptoAmortization() && cfg.DHEPolicy != nil && cfg.DHEPolicy.Mode == keyex.Reuse
+		if reuse && premaster == nil {
+			premaster = srvPremasterDHE(dhePriv, clientPub)
+		}
+		if premaster == nil {
+			premaster, err = dheGroup.Shared(dhePriv, new(big.Int).SetBytes(clientPub))
+			if err != nil {
+				return nil, err
+			}
+			if reuse {
+				srvPremasterPutDHE(dhePriv, clientPub, premaster)
+			}
 		}
 	}
 	hc.ex.SetSecret(premaster)
@@ -467,6 +508,13 @@ func full(hc *hsConn, cfg *Config, ch *wire.ClientHello, now time.Time) (*sessio
 		}
 	}
 	if cfg.Cache != nil {
+		// Surface any transport failure of the pending flight before
+		// mutating the cache, preserving the per-record-write ordering: a
+		// connection cut during the ticket flight must not leave a
+		// resumable cache entry behind.
+		if err := hc.rc.Flush(); err != nil {
+			return nil, err
+		}
 		cfg.Cache.Put(sh.SessionID, st, now)
 	}
 	if err := finishServer(hc, kb); err != nil {
@@ -532,17 +580,135 @@ func resume(hc *hsConn, cfg *Config, ch *wire.ClientHello, st *session.State, no
 
 func sendTicket(hc *hsConn, cfg *Config, st *session.State, now time.Time, rnd io.Reader) error {
 	k := cfg.Tickets.IssuingKey(now)
-	tkt, err := k.Seal(st, rnd)
-	if err != nil {
-		return err
-	}
 	hint := cfg.TicketHint
 	if hint == 0 {
 		hint = 2 * time.Hour
 	}
-	nst := wire.NewSessionTicket{LifetimeHint: hint, Ticket: tkt}
-	hc.mbuf = nst.AppendTo(hc.mbuf[:0])
+	if !perf.CryptoAmortization() {
+		tkt, err := k.Seal(st, rnd)
+		if err != nil {
+			return err
+		}
+		nst := wire.NewSessionTicket{LifetimeHint: hint, Ticket: tkt}
+		hc.mbuf = nst.AppendTo(hc.mbuf[:0])
+		return hc.writeRaw(hc.mbuf)
+	}
+	// Amortized path: the message prefix is constant per (key, hint) —
+	// sealed tickets have one fixed length — and the ticket is sealed
+	// directly into the outgoing buffer, so the abbreviated flight's
+	// serialization costs no allocations at all.
+	hc.mbuf = append(hc.mbuf[:0], nstPrefix(k, hint)...)
+	var err error
+	hc.mbuf, err = k.AppendSeal(hc.mbuf, st, rnd)
+	if err != nil {
+		return err
+	}
 	return hc.writeRaw(hc.mbuf)
+}
+
+// nstPrefixes caches the NewSessionTicket message prefix per issuing key
+// and hint (see wire.AppendNSTPrefix). A plain mutex-guarded map rather
+// than sync.Map: struct keys would be boxed on every Load.
+var nstPrefixes struct {
+	mu sync.RWMutex
+	m  map[nstPrefixKey][]byte
+}
+
+type nstPrefixKey struct {
+	k    *ticket.STEK
+	hint time.Duration
+}
+
+func nstPrefix(k *ticket.STEK, hint time.Duration) []byte {
+	key := nstPrefixKey{k: k, hint: hint}
+	nstPrefixes.mu.RLock()
+	b, ok := nstPrefixes.m[key]
+	nstPrefixes.mu.RUnlock()
+	if ok {
+		return b
+	}
+	b = wire.AppendNSTPrefix(nil, hint, k.SealedLen())
+	nstPrefixes.mu.Lock()
+	if nstPrefixes.m == nil || len(nstPrefixes.m) >= maxPremasterEntries {
+		nstPrefixes.m = make(map[nstPrefixKey][]byte, 16)
+	}
+	nstPrefixes.m[key] = b
+	nstPrefixes.mu.Unlock()
+	return b
+}
+
+// srvPM caches premasters per (epoch private value, client public). The
+// outer maps are keyed by the policy-reused private values' pointers —
+// stable for a whole epoch — and the inner map by the raw public bytes
+// (string-keyed, so lookups convert without allocating). Bounded by
+// wholesale clearing, like the keyex epoch cache.
+var srvPM struct {
+	mu sync.RWMutex
+	ec map[*ecdh.PrivateKey]map[string][]byte
+	dh map[*big.Int]map[string][]byte
+	n  int
+}
+
+const maxPremasterEntries = 4096
+
+func srvPremasterECDHE(priv *ecdh.PrivateKey, pub []byte) []byte {
+	srvPM.mu.RLock()
+	pm := srvPM.ec[priv][string(pub)]
+	srvPM.mu.RUnlock()
+	if pm != nil {
+		telemetry.Global().Counter("wall/tlsserver/premaster_hit").Inc()
+	}
+	return pm
+}
+
+func srvPremasterPutECDHE(priv *ecdh.PrivateKey, pub, pm []byte) {
+	srvPM.mu.Lock()
+	if srvPM.n >= maxPremasterEntries {
+		srvPM.ec, srvPM.dh, srvPM.n = nil, nil, 0
+	}
+	if srvPM.ec == nil {
+		srvPM.ec = make(map[*ecdh.PrivateKey]map[string][]byte)
+	}
+	inner := srvPM.ec[priv]
+	if inner == nil {
+		inner = make(map[string][]byte, 1)
+		srvPM.ec[priv] = inner
+	}
+	if _, ok := inner[string(pub)]; !ok {
+		inner[string(pub)] = append([]byte(nil), pm...)
+		srvPM.n++
+	}
+	srvPM.mu.Unlock()
+}
+
+func srvPremasterDHE(priv *big.Int, pub []byte) []byte {
+	srvPM.mu.RLock()
+	pm := srvPM.dh[priv][string(pub)]
+	srvPM.mu.RUnlock()
+	if pm != nil {
+		telemetry.Global().Counter("wall/tlsserver/premaster_hit").Inc()
+	}
+	return pm
+}
+
+func srvPremasterPutDHE(priv *big.Int, pub, pm []byte) {
+	srvPM.mu.Lock()
+	if srvPM.n >= maxPremasterEntries {
+		srvPM.ec, srvPM.dh, srvPM.n = nil, nil, 0
+	}
+	if srvPM.dh == nil {
+		srvPM.dh = make(map[*big.Int]map[string][]byte)
+	}
+	inner := srvPM.dh[priv]
+	if inner == nil {
+		inner = make(map[string][]byte, 1)
+		srvPM.dh[priv] = inner
+	}
+	if _, ok := inner[string(pub)]; !ok {
+		inner[string(pub)] = append([]byte(nil), pm...)
+		srvPM.n++
+	}
+	srvPM.mu.Unlock()
 }
 
 func finishServer(hc *hsConn, kb []byte) error {

@@ -7,6 +7,7 @@ package wire
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -245,7 +246,7 @@ func ParseClientHelloInto(h *ClientHello, body []byte) error {
 			list := sp.vec16()
 			lp := &parser{b: list}
 			lp.raw(1)
-			h.ServerName = string(lp.vec16())
+			h.ServerName = internName(lp.vec16())
 		case ExtSessionTicket:
 			h.OfferTicket = true
 			h.Ticket = data
@@ -344,12 +345,19 @@ func MarshalCertificate(chain [][]byte) *Msg {
 }
 
 func ParseCertificate(body []byte) ([][]byte, error) {
+	return ParseCertificateInto(nil, body)
+}
+
+// ParseCertificateInto parses the chain into dst's backing array (grown as
+// needed); certificates alias body. With a pooled dst of sufficient
+// capacity the parse is allocation-free. Pass dst[:0] to reuse.
+func ParseCertificateInto(dst [][]byte, body []byte) ([][]byte, error) {
 	p := &parser{b: body}
 	all := p.vec24()
 	if p.err != nil {
 		return nil, p.err
 	}
-	var chain [][]byte
+	chain := dst[:0]
 	cp := &parser{b: all}
 	for len(cp.b) > 0 && cp.err == nil {
 		chain = append(chain, cp.vec24())
@@ -358,6 +366,36 @@ func ParseCertificate(body []byte) ([][]byte, error) {
 		return nil, cp.err
 	}
 	return chain, nil
+}
+
+// internName deduplicates SNI host names: a campaign parses the same few
+// thousand domain names hundreds of times each, and the string conversion
+// was the ClientHello parse's only remaining per-call allocation.
+// Interning is semantics-free (identical bytes in, identical string out);
+// the map is cleared wholesale at the bound to stay finite across many
+// populations in one process.
+var nameIntern struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+const maxInternedNames = 16384
+
+func internName(b []byte) string {
+	nameIntern.mu.RLock()
+	s, ok := nameIntern.m[string(b)]
+	nameIntern.mu.RUnlock()
+	if ok {
+		return s
+	}
+	s = string(b)
+	nameIntern.mu.Lock()
+	if nameIntern.m == nil || len(nameIntern.m) >= maxInternedNames {
+		nameIntern.m = make(map[string]string, 1024)
+	}
+	nameIntern.m[s] = s
+	nameIntern.mu.Unlock()
+	return s
 }
 
 // ---- ServerKeyExchange ----
@@ -416,8 +454,18 @@ func (s *SKE) AppendTo(dst []byte) []byte {
 }
 
 func ParseSKE(kex Kex, body []byte) (*SKE, error) {
+	s := &SKE{}
+	if err := ParseSKEInto(s, kex, body); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ParseSKEInto parses into a caller-owned SKE; every field aliases body,
+// so with a pooled destination the parse is allocation-free.
+func ParseSKEInto(s *SKE, kex Kex, body []byte) error {
 	p := &parser{b: body}
-	s := &SKE{Kex: kex}
+	*s = SKE{Kex: kex}
 	if kex == KexDHE {
 		s.P = p.vec16()
 		s.G = p.vec16()
@@ -428,10 +476,7 @@ func ParseSKE(kex Kex, body []byte) (*SKE, error) {
 	}
 	p.u16() // sig alg
 	s.Sig = p.vec16()
-	if p.err != nil {
-		return nil, p.err
-	}
-	return s, nil
+	return p.err
 }
 
 // ---- ClientKeyExchange ----
@@ -493,6 +538,18 @@ func (t *NewSessionTicket) AppendTo(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, uint32(t.LifetimeHint/time.Second))
 	dst = appendVec16(dst, t.Ticket)
 	return endMsg(dst, msg)
+}
+
+// AppendNSTPrefix appends the fixed NewSessionTicket message prefix —
+// handshake header, lifetime hint, ticket length — for a ticket of known
+// length. Appending exactly ticketLen ticket bytes afterwards yields the
+// same bytes as NewSessionTicket.AppendTo; the server caches this prefix
+// per (STEK, hint) and seals the ticket directly behind it.
+func AppendNSTPrefix(dst []byte, hint time.Duration, ticketLen int) []byte {
+	n := 4 + 2 + ticketLen
+	dst = append(dst, TypeNewSessionTicket, byte(n>>16), byte(n>>8), byte(n))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(hint/time.Second))
+	return binary.BigEndian.AppendUint16(dst, uint16(ticketLen))
 }
 
 func ParseNewSessionTicket(body []byte) (*NewSessionTicket, error) {
