@@ -7,8 +7,8 @@ GO ?= go
 BENCHPKG ?= tlsshortcuts
 BENCHTIME ?= 1x
 
-.PHONY: build test test-faults test-telemetry test-shards race \
-	bench bench-campaign bench-gate bench-million fmt
+.PHONY: build test test-faults test-telemetry test-shards test-cryptanalysis \
+	race bench bench-campaign bench-gate bench-million fmt
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,17 @@ test-telemetry:
 # and the merge must reject malformed shard sets.
 test-shards:
 	$(GO) test -run 'Shard|Merge|CampaignDeterminism' -count=1 ./internal/study
+
+# Cryptanalysis suite: dictionary cracking and probe units, the ticket
+# key-name regressions, the attacker capture-path fixes (format rejection,
+# snapshot isolation under -race, round-trip property, e2e resumed-capture
+# decryption), and the weak-population campaign proofs — nonzero measured
+# decryption yield with the toggle on, byte-identical golden hash with it
+# off, and worker-count/shard invariance of the weak campaign itself.
+test-cryptanalysis:
+	$(GO) test -count=1 ./internal/cryptanalysis ./internal/ticket ./internal/vulnwindow
+	$(GO) test -race -count=1 ./internal/attacker
+	$(GO) test -run 'WeakCrypto|CampaignDeterminism' -count=1 ./internal/study
 
 race:
 	$(GO) test -race ./...

@@ -10,6 +10,8 @@
 package tlsshortcuts
 
 import (
+	"tlsshortcuts/internal/attacker"
+	"tlsshortcuts/internal/cryptanalysis"
 	"tlsshortcuts/internal/faults"
 	"tlsshortcuts/internal/population"
 	"tlsshortcuts/internal/scanner"
@@ -60,6 +62,16 @@ type Report = study.Report
 
 // Exposure is one (domain, mechanism) vulnerability window.
 type Exposure = vulnwindow.Exposure
+
+// CryptFindings is the per-campaign cryptanalysis output — observed key
+// names and IVs, dictionary-cracked STEKs, weak-prime sightings, and the
+// measured replay yield. Present on Dataset.Crypt only when
+// StudyOptions.WeakCrypto is set.
+type CryptFindings = cryptanalysis.Findings
+
+// DecryptionYield counts what an attacker replaying captured traffic
+// against recovered STEKs actually decrypts.
+type DecryptionYield = attacker.Yield
 
 // Classification buckets combined windows by exceedance threshold.
 type Classification = vulnwindow.Classification

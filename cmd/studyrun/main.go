@@ -59,6 +59,8 @@ func main() {
 		shard = flag.String("shard", "", "run one campaign slice, as i/N (e.g. 0/3); merge with -merge")
 		merge = flag.Bool("merge", false, "merge shard dataset files (given as args) into -out instead of running")
 
+		weakCrypto = flag.Bool("weak-crypto", false, "seed weak-STEK / shared-key-name / export-DH operators and run the cryptanalysis pass")
+
 		probeTimeout = flag.Duration("probe-timeout", 0, "per-connection deadline (0 = scanner default, <0 disables)")
 		retries      = flag.Int("retries", 0, "transient-failure retries (0 = scanner default, <0 disables)")
 		faultSeed    = flag.Int64("fault-seed", 0, "fault plan seed (defaults to -seed)")
@@ -159,6 +161,7 @@ func main() {
 		Retries:      *retries,
 		Telemetry:    reg,
 		Shard:        shardSpec,
+		WeakCrypto:   *weakCrypto,
 	}
 	if trace != nil {
 		opts.Trace = trace

@@ -70,18 +70,38 @@ func (t *Tap) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// Conversation returns the recording so far (shared backing arrays; stop
-// using the Tap before parsing).
+// Conversation returns a deep copy of the recording so far. The snapshot
+// shares nothing with the live tap, so it can be parsed (or saved) while
+// the wrapped connection keeps flowing.
 func (t *Tap) Conversation() *Conversation {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	c := t.conv
-	return &c
+	c := &Conversation{}
+	if len(t.conv.Segments) > 0 {
+		c.Segments = make([]Segment, len(t.conv.Segments))
+		for i, s := range t.conv.Segments {
+			c.Segments[i] = Segment{FromClient: s.FromClient, Data: append([]byte(nil), s.Data...)}
+		}
+	}
+	return c
 }
 
 // ---- TLSCAP01 persistence ----
 
 var capMagic = []byte("TLSCAP01")
+
+// BadDirectionError reports a TLSCAP01 segment header whose direction
+// byte is neither 0 (server-to-client) nor 1 (client-to-server). A
+// corrupted capture must fail loudly: silently folding unknown bytes
+// into one direction produced plausible-looking garbage transcripts.
+type BadDirectionError struct {
+	Offset int  // byte offset of the direction byte within the blob
+	Dir    byte // the invalid value found there
+}
+
+func (e *BadDirectionError) Error() string {
+	return fmt.Sprintf("attacker: invalid direction byte 0x%02x at offset %d", e.Dir, e.Offset)
+}
 
 // Save serializes the conversation.
 func (c *Conversation) Save() []byte {
@@ -108,11 +128,15 @@ func Load(b []byte) (*Conversation, error) {
 	if !bytes.HasPrefix(b, capMagic) {
 		return nil, errors.New("attacker: not a TLSCAP01 capture")
 	}
+	off := len(capMagic)
 	b = b[len(capMagic):]
 	c := &Conversation{}
 	for len(b) > 0 {
 		if len(b) < 5 {
 			return nil, errors.New("attacker: truncated capture")
+		}
+		if dir := b[0]; dir > 1 {
+			return nil, &BadDirectionError{Offset: off, Dir: dir}
 		}
 		n := int(binary.BigEndian.Uint32(b[1:5]))
 		if len(b) < 5+n {
@@ -120,6 +144,7 @@ func Load(b []byte) (*Conversation, error) {
 		}
 		c.Segments = append(c.Segments, Segment{FromClient: b[0] == 1, Data: append([]byte(nil), b[5:5+n]...)})
 		b = b[5+n:]
+		off += 5 + n
 	}
 	return c, nil
 }
@@ -152,6 +177,7 @@ type Recovered struct {
 	Resumed       bool // abbreviated handshake (no Certificate seen)
 	OfferedTicket []byte
 	IssuedTicket  []byte
+	DHPrime       []byte // FFDH modulus from the ServerKeyExchange, if DHE
 	Encrypted     []EncRecord
 }
 
@@ -215,6 +241,16 @@ func Parse(conv *Conversation) (*Recovered, error) {
 				rec.Suite = sh.Suite
 			case wire.TypeCertificate:
 				sawCert = true
+			case wire.TypeServerKeyExchange:
+				// The ServerHello precedes the SKE in the same direction,
+				// so rec.Suite is already populated here.
+				if wire.SuiteKex(rec.Suite) == wire.KexDHE {
+					ske, err := wire.ParseSKE(wire.KexDHE, m.Body)
+					if err != nil {
+						return nil, err
+					}
+					rec.DHPrime = append([]byte(nil), ske.P...)
+				}
 			case wire.TypeNewSessionTicket:
 				nst, err := wire.ParseNewSessionTicket(m.Body)
 				if err != nil {

@@ -1,0 +1,65 @@
+package attacker
+
+import (
+	"tlsshortcuts/internal/ticket"
+)
+
+// CapturedConn is one tap-recorded probe connection from the
+// cryptanalysis capture pass: the raw recording plus its passive parse.
+type CapturedConn struct {
+	Domain string
+	Conv   *Conversation
+	Rec    *Recovered
+}
+
+// Yield is the measured outcome of replaying a capture set against a key
+// collection: how much of the recorded traffic actually decrypted. This
+// is the paper-shaped result — not "key looked weak" but "these bytes
+// came back as plaintext".
+type Yield struct {
+	Attempted   int `json:",omitempty"` // captured conversations replayed
+	Domains     int `json:",omitempty"` // distinct domains with ≥1 decrypted conversation
+	Connections int `json:",omitempty"` // conversations fully decrypted
+	Bytes       int `json:",omitempty"` // plaintext application-data bytes recovered
+}
+
+// Add accumulates another yield (shard merge).
+func (y *Yield) Add(o Yield) {
+	y.Attempted += o.Attempted
+	y.Domains += o.Domains
+	y.Connections += o.Connections
+	y.Bytes += o.Bytes
+}
+
+// Replay attempts retrospective decryption of every capture using the
+// supplied (cracked or otherwise obtained) STEKs: for each conversation
+// it tries to open a captured ticket, derive the master secret, and
+// decrypt the recorded application data. Captures whose tickets no
+// supplied key opens contribute only to Attempted.
+func Replay(captures []CapturedConn, keys []*ticket.STEK) Yield {
+	var y Yield
+	perDomain := map[string]bool{}
+	for _, c := range captures {
+		if c.Rec == nil {
+			continue
+		}
+		y.Attempted++
+		master, err := c.Rec.MasterFromSTEK(keys...)
+		if err != nil {
+			continue
+		}
+		msgs, err := c.Rec.Decrypt(master)
+		if err != nil {
+			continue
+		}
+		y.Connections++
+		if !perDomain[c.Domain] {
+			perDomain[c.Domain] = true
+			y.Domains++
+		}
+		for _, m := range msgs {
+			y.Bytes += len(m.Plain)
+		}
+	}
+	return y
+}

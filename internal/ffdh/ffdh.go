@@ -48,6 +48,25 @@ func TestGroup512() *Group {
 	return testGroup
 }
 
+var (
+	exportOnce  sync.Once
+	exportGroup *Group
+)
+
+// ExportGroup512 returns the deterministic "export-grade" 512-bit group
+// used by the weak-crypto population profiles. It stands in for the
+// small set of widely shared export primes of the Logjam attack: every
+// domain configured with it serves the same modulus, so one
+// precomputation amortizes across all of them. It is distinct from
+// TestGroup512 (the baseline group), which models parameter *reuse*
+// without being in any attacker's known-weak registry.
+func ExportGroup512() *Group {
+	exportOnce.Do(func() {
+		exportGroup = &Group{P: derivePrime("tlsshortcuts-ffdh-export-512", 512), G: big.NewInt(2)}
+	})
+	return exportGroup
+}
+
 // derivePrime expands seed||counter through SHA-256 until the candidate
 // (top two bits and low bit forced) passes Miller-Rabin.
 func derivePrime(seed string, bits int) *big.Int {

@@ -14,6 +14,8 @@ import (
 	"sort"
 	"time"
 
+	"tlsshortcuts/internal/cryptanalysis"
+	"tlsshortcuts/internal/ffdh"
 	"tlsshortcuts/internal/keyex"
 	"tlsshortcuts/internal/pki"
 	"tlsshortcuts/internal/session"
@@ -29,6 +31,13 @@ type Options struct {
 	Seed     int64
 	Clock    simclock.Clock // nil: a Manual clock at Start
 	Start    time.Time      // zero: simclock.Epoch
+
+	// WeakCrypto appends the calibrated vulnerable operator profiles
+	// (weak-seed STEKs, a key name shared across unrelated operators,
+	// fixed-IV sealing, an export-grade FFDH group) after the named
+	// operators. Off by default: with the toggle off the build is
+	// byte-identical to the baseline world, golden hash included.
+	WeakCrypto bool
 }
 
 // STEKPolicy describes a terminator's ticket-key rotation.
@@ -48,6 +57,7 @@ type Behavior struct {
 	ECDHE         keyex.Policy
 	SupportDHE    bool
 	SupportECDHE  bool
+	DHEGroup      *ffdh.Group // nil: the default simulation group
 }
 
 // Terminator is one deployed backend (config plus its behavior and STEK
@@ -120,6 +130,11 @@ type profile struct {
 	hint  time.Duration
 	// chunk is the max domains per backend cert/terminator.
 	chunk int
+
+	// Weak-crypto knobs (only set by weakProfiles):
+	stekSeed string      // explicit STEK seed (shared or low-entropy); "" = derived from op|seed
+	weakIV   bool        // fixed-IV CBC sealing (AWS-flaw style); static STEKs only
+	dheGroup *ffdh.Group // FFDH group override (export-grade shared prime)
 }
 
 // profiles is the calibrated operator table. Order fixes rank order.
@@ -185,6 +200,39 @@ func profiles() []profile {
 	}
 }
 
+// weakProfiles is the vulnerable-deployment table appended behind
+// Options.WeakCrypto, calibrated to Hebrok et al.'s measurements: the
+// STEK-crackable operators (weak seed, shared vendor-default key,
+// fixed-IV sealing) together cover ~1.9% of the population — the
+// fraction whose recorded traffic they passively decrypted on the
+// Tranco 100k — plus an export-grade FFDH block for the Logjam
+// common-prime amortization.
+func weakProfiles() []profile {
+	// weakseed-cdn and sharedname-host ship the *same* weak key — a
+	// vendor default config deployed by unrelated operators — so the
+	// key-name-reuse probe groups them and a single dictionary crack
+	// decrypts both.
+	shared := string(cryptanalysis.WeakSeed(17))
+	return []profile{
+		{op: "weakseed-cdn", frac: 0.007, fixed: []string{"weakseed-cdn.example"},
+			b:        Behavior{Tickets: true, STEK: STEKPolicy{Static: true}, SupportECDHE: true},
+			stekSeed: shared},
+		{op: "sharedname-host", frac: 0.005, fixed: []string{"sharedname-host.example"},
+			b:        Behavior{Tickets: true, STEK: STEKPolicy{Static: true}, SupportDHE: true, SupportECDHE: true},
+			stekSeed: shared},
+		// Fixed-IV CBC sealing in the 4-byte-name mbedTLS format: every
+		// reissue of the same state is byte-identical on the wire — the
+		// AWS keystream-reuse signature.
+		{op: "fixediv-cloud", frac: 0.007, fixed: []string{"fixediv-cloud.example"},
+			b:        Behavior{Tickets: true, TicketFormat: ticket.FormatMbedTLS, STEK: STEKPolicy{Static: true}, SupportECDHE: true},
+			stekSeed: string(cryptanalysis.WeakSeed(99)), weakIV: true},
+		// DHE-only legacy block serving the shared export-grade prime.
+		{op: "exportdh-legacy", frac: 0.004, fixed: []string{"exportdh-legacy.example"},
+			b:        Behavior{SupportDHE: true, DHEGroup: ffdh.ExportGroup512()},
+			dheGroup: ffdh.ExportGroup512()},
+	}
+}
+
 // Build constructs the world.
 func Build(o Options) (*World, error) {
 	if o.ListSize < 50 {
@@ -218,8 +266,15 @@ func Build(o Options) (*World, error) {
 	}
 	bld := &builder{w: w, rng: rng, root: root, badRoot: badRoot, start: start, notAfter: start.AddDate(2, 0, 0)}
 
+	ps := profiles()
+	if o.WeakCrypto {
+		// Appended after the named operators: the weak blocks take ranks
+		// before the tail, so they are trusted, always-present, and
+		// scanned daily like any named operator.
+		ps = append(ps, weakProfiles()...)
+	}
 	rank := 1
-	for _, p := range profiles() {
+	for _, p := range ps {
 		count := int(p.frac*float64(o.ListSize) + 0.5)
 		if count < len(p.fixed) {
 			count = len(p.fixed)
@@ -273,6 +328,7 @@ func (b *builder) config(beh Behavior, mgr ticket.Manager, cache *session.Cache,
 		// Deterministic per-connection server entropy (the client random
 		// salts each stream), so a campaign replays byte-identically.
 		RandSeed: []byte("rand:" + kexSeed),
+		DHEGroup: beh.DHEGroup,
 	}
 	if beh.Tickets {
 		cfg.Tickets = mgr
@@ -296,7 +352,21 @@ func (b *builder) config(beh Behavior, mgr ticket.Manager, cache *session.Cache,
 // session cache, shared KEX seeds, domains spread over chunked backends.
 func (b *builder) operatorBlock(p profile, names []string, rank *int) error {
 	seedTag := fmt.Sprintf("%s|%d", p.op, b.w.Opts.Seed)
-	mgr := b.manager(p.b.STEK, p.b.TicketFormat, "stek:"+seedTag)
+	stekSeed := "stek:" + seedTag
+	if p.stekSeed != "" {
+		// Weak profile: the seed is NOT folded with the study seed — a
+		// low-entropy deployment key is guessable precisely because it
+		// does not depend on per-install entropy.
+		stekSeed = p.stekSeed
+	}
+	var mgr ticket.Manager
+	if p.weakIV {
+		k := ticket.Derive([]byte(stekSeed), p.b.TicketFormat)
+		k.WeakIV = true
+		mgr = ticket.NewStaticFromKey(k)
+	} else {
+		mgr = b.manager(p.b.STEK, p.b.TicketFormat, stekSeed)
+	}
 	var cache *session.Cache
 	if p.b.CacheLifetime > 0 {
 		cache = session.NewCache(p.b.CacheLifetime)

@@ -42,6 +42,15 @@ type ProbeDialer interface {
 	DialProbe(domain, label string) (net.Conn, error)
 }
 
+// StableDialer keys the balancer choice on (domain, label) even with no
+// fault plan active. Post-campaign passes use it so the backend they
+// land on does not depend on how many dials the campaign already issued
+// to the domain — a count that differs between monolithic and sharded
+// runs of the same campaign.
+type StableDialer interface {
+	DialProbeStable(domain, label string) (net.Conn, error)
+}
+
 // Topology exposes the AS/IP neighbor lists the cross-domain probes walk.
 type Topology interface {
 	SameAS(domain string) []string

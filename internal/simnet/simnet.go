@@ -110,7 +110,7 @@ func (n *Net) SetTelemetry(r *telemetry.Registry) {
 // client affinity: successive dials may land on different terminators,
 // exactly the balancer behavior that frustrates naive run-length metrics.
 func (n *Net) Dial(domain string) (net.Conn, error) {
-	return n.dial(domain, "")
+	return n.dial(domain, "", false)
 }
 
 // DialProbe is Dial carrying the probe's identity label. Under an active
@@ -119,10 +119,22 @@ func (n *Net) Dial(domain string) (net.Conn, error) {
 // campaign's faults replay identically for any worker count; with no plan
 // the label is ignored and the path matches Dial exactly.
 func (n *Net) DialProbe(domain, label string) (net.Conn, error) {
-	return n.dial(domain, label)
+	return n.dial(domain, label, false)
 }
 
-func (n *Net) dial(domain, label string) (net.Conn, error) {
+// DialProbeStable is DialProbe with the balancer choice keyed on
+// (domain, label) even when no fault plan is active. The daily scans
+// deliberately ride the shared per-domain dial sequence (balancer
+// non-affinity is part of what they measure), but a post-campaign pass
+// like the cryptanalysis capture must land on the same backend whether
+// the campaign ran monolithic or sharded — and the sequence value at
+// that point differs between the two (a shard's domains receive
+// cross-domain probe connections only from the shard's own initiators).
+func (n *Net) DialProbeStable(domain, label string) (net.Conn, error) {
+	return n.dial(domain, label, true)
+}
+
+func (n *Net) dial(domain, label string, stable bool) (net.Conn, error) {
 	n.mu.RLock()
 	b, ok := n.domains[domain]
 	plan := n.plan
@@ -142,6 +154,21 @@ func (n *Net) dial(domain, label string) (net.Conn, error) {
 	var seq uint64
 	if plan.Active() && label != "" {
 		idx = plan.Backend(domain, label, len(b.backends))
+	} else if stable && label != "" {
+		// Keyed like the fault-plan path: a pure function of the probe's
+		// identity, independent of every other dial in the run.
+		h := uint64(fnvOffset64)
+		for i := 0; i < len(domain); i++ {
+			h ^= uint64(domain[i])
+			h *= fnvPrime64
+		}
+		h ^= '|'
+		h *= fnvPrime64
+		for i := 0; i < len(label); i++ {
+			h ^= uint64(label[i])
+			h *= fnvPrime64
+		}
+		idx = int(mix64(h) % uint64(len(b.backends)))
 	} else {
 		seq = b.dialSeq.Add(1)
 		// Inline FNV-1a over domain || seq (little-endian), identical to

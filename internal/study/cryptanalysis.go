@@ -1,0 +1,66 @@
+package study
+
+import (
+	"encoding/hex"
+
+	"tlsshortcuts/internal/attacker"
+	"tlsshortcuts/internal/cryptanalysis"
+	"tlsshortcuts/internal/scanner"
+	"tlsshortcuts/internal/ticket"
+)
+
+// cryptAppData is the application payload the capture pass sends — the
+// sensitive-looking request whose retrospective decryption the attacker
+// replay measures in bytes.
+var cryptAppData = []byte("GET /account/settings HTTP/1.1\r\nCookie: session=s3cr3t\r\n\r\n")
+
+// runCryptanalysis executes the weak-crypto measurement over the shard's
+// core: tap-recorded captures, per-domain primitive extraction (issuing
+// key name, ticket IVs, weak-prime membership), the weak-seed dictionary
+// crack, and the attacker replay that turns cracked keys into measured
+// decryption yield. Results are flat per-domain maps so MergeDatasets
+// recombines shards by disjoint union; the derived groupings (shared key
+// names, keystream reuse, prime amortization) are computed at report
+// time from the merged maps.
+func runCryptanalysis(scan *scanner.Scanner, domains []string) *cryptanalysis.Findings {
+	f := cryptanalysis.NewFindings()
+	caps := scan.CryptanalysisCapture(domains, cryptAppData)
+	dict := cryptanalysis.Dict()
+	var captures []attacker.CapturedConn
+	var cracked []*ticket.STEK
+	crackedNames := map[string]bool{}
+	for _, cc := range caps {
+		if len(cc.Tickets) > 0 {
+			t0 := cc.Tickets[0]
+			if name := ticket.KeyName(t0); name != nil {
+				f.KeyNames[cc.Domain] = hex.EncodeToString(name)
+			}
+			for _, t := range cc.Tickets {
+				if iv := ticket.IVOf(t); iv != nil {
+					f.IVs[cc.Domain] = append(f.IVs[cc.Domain], hex.EncodeToString(iv))
+				}
+			}
+			if k := dict.Crack(t0); k != nil {
+				f.Cracked[cc.Domain] = hex.EncodeToString(k.Name)
+				if !crackedNames[string(k.Name)] {
+					crackedNames[string(k.Name)] = true
+					cracked = append(cracked, k)
+				}
+			}
+		}
+		if len(cc.DHPrime) > 0 {
+			if id, ok := cryptanalysis.IsWeakPrime(cc.DHPrime); ok {
+				f.WeakPrime[cc.Domain] = id
+			}
+		}
+		for _, conv := range cc.Convs {
+			rec, err := attacker.Parse(conv)
+			if err != nil {
+				continue
+			}
+			captures = append(captures, attacker.CapturedConn{Domain: cc.Domain, Conv: conv, Rec: rec})
+		}
+	}
+	f.Yield = attacker.Replay(captures, cracked)
+	return f
+}

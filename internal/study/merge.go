@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"tlsshortcuts/internal/cryptanalysis"
 	"tlsshortcuts/internal/faults"
 	"tlsshortcuts/internal/scanner"
 )
@@ -148,6 +149,28 @@ func MergeDatasets(shards ...*Dataset) (*Dataset, error) {
 	out.CacheGroups = multiSets(uf)
 	out.STEKGroups = secretGroups(out.STEKSpans)
 	out.DHGroups, out.DHSingleton = dhGroups(out.DHESpans, out.ECDHESpans)
+
+	// Cryptanalysis findings: flat per-domain maps union disjointly and
+	// the replay yield sums; either every shard ran the pass or none did.
+	crypt, missing := 0, 0
+	for _, sd := range ordered {
+		if sd.Crypt != nil {
+			crypt++
+		} else {
+			missing++
+		}
+	}
+	if crypt > 0 && missing > 0 {
+		return nil, fmt.Errorf("study: merge: %d shard(s) missing cryptanalysis findings while others carry them", missing)
+	}
+	if crypt > 0 {
+		out.Crypt = cryptanalysis.NewFindings()
+		for _, sd := range ordered {
+			if err := out.Crypt.Merge(sd.Crypt); err != nil {
+				return nil, fmt.Errorf("study: merge: %w", err)
+			}
+		}
+	}
 	return out, nil
 }
 

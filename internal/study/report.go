@@ -211,6 +211,25 @@ func buildReport(ds *Dataset) *Report {
 			})
 		}
 	}
+	// Weak-crypto exposures: traffic decryptable without any compromise
+	// event (cracked STEK, known-weak prime) is harmed for the full
+	// observation, whatever the domain's rotation hygiene says.
+	if ds.Crypt != nil {
+		for _, domain := range r.core {
+			if _, ok := ds.Crypt.Cracked[domain]; ok {
+				r.Exposures = append(r.Exposures, vulnwindow.Exposure{
+					Domain: domain, Mechanism: vulnwindow.MechWeakSTEK,
+					Window: vulnwindow.WeakWindow(ds.Days),
+				})
+			}
+			if _, ok := ds.Crypt.WeakPrime[domain]; ok {
+				r.Exposures = append(r.Exposures, vulnwindow.Exposure{
+					Domain: domain, Mechanism: vulnwindow.MechFFDHPrime,
+					Window: vulnwindow.WeakWindow(ds.Days),
+				})
+			}
+		}
+	}
 	r.Classification = vulnwindow.Classify(r.Exposures)
 	return r
 }
@@ -647,6 +666,11 @@ func (r *Report) String() string {
 		r.FailureTable, r.Table1, r.Figure1, r.Figure2, r.Figure3, r.Figure4, r.Table2,
 		r.Figure5, r.Table3, r.Table4, r.Table5, r.Table6, r.Table7,
 		r.Figure6, r.Figure7, r.Figure8, r.TLS13Outlook,
+	}
+	// The cryptanalysis section exists only for weak-crypto campaigns, so
+	// baseline reports render byte-identically to pre-cryptanalysis ones.
+	if r.DS.Crypt != nil {
+		sections = append(sections, r.Cryptanalysis)
 	}
 	parts := make([]string, len(sections))
 	for i, f := range sections {

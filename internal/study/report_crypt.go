@@ -1,0 +1,86 @@
+package study
+
+import (
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"tlsshortcuts/internal/cryptanalysis"
+	"tlsshortcuts/internal/vulnwindow"
+)
+
+// hebrokDecryptRate is the calibration target: Hebrok et al. passively
+// decrypted traffic of 1.9% of the Tranco 100k via weak session-ticket
+// deployments.
+const hebrokDecryptRate = 0.019
+
+// Cryptanalysis renders the weak-crypto probe findings and the measured
+// replay yield. Only included in String() when the campaign ran the
+// cryptanalysis pass (DS.Crypt non-nil).
+func (r *Report) Cryptanalysis() string {
+	c := r.DS.Crypt
+	b := &strings.Builder{}
+	b.WriteString("Cryptanalysis: weak-crypto probes and measured decryption yield\n")
+
+	// Probe 1: one STEK key name observed at unrelated operators.
+	shared := cryptanalysis.SharedKeyNames(c.KeyNames, r.DS.Operators)
+	fmt.Fprintf(b, "  key-name reuse: %d key name(s) served by unrelated operators\n", len(shared))
+	for _, g := range shared {
+		fmt.Fprintf(b, "    %s… shared by %s (%d domains)\n",
+			g.KeyName[:8], strings.Join(g.Operators, ", "), len(g.Domains))
+	}
+
+	// Probe 2: STEK entropy — a successful dictionary crack bounds the
+	// key's seed entropy by the search space.
+	distinct := map[string]bool{}
+	for _, name := range c.Cracked {
+		distinct[name] = true
+	}
+	fmt.Fprintf(b, "  weak STEKs: %d domain(s), %d distinct key(s) recovered by dictionary search (seed entropy ≤ %.0f bits)\n",
+		len(c.Cracked), len(distinct), cryptanalysis.SeedEntropyBits())
+
+	// Probe 3: repeated CBC IVs under one key (fixed-IV sealing).
+	reuse := cryptanalysis.KeystreamReuse(c.IVs, c.KeyNames)
+	fmt.Fprintf(b, "  keystream reuse: %d repeated-IV finding(s)\n", len(reuse))
+	for _, f := range reuse {
+		var sample []byte
+		for _, d := range f.Domains {
+			for _, iv := range c.IVs[d] {
+				if raw, err := hex.DecodeString(iv); err == nil {
+					sample = append(sample, raw...)
+				}
+			}
+		}
+		fmt.Fprintf(b, "    key %s…: IV %s… seen %dx across %d domain(s); observed IV entropy %.2f bits/byte\n",
+			f.KeyName[:8], f.IV[:8], f.Count, len(f.Domains), cryptanalysis.ShannonBitsPerByte(sample))
+	}
+
+	// Probe 4: known-weak FFDH primes with the Logjam amortization math.
+	byPrime := map[string][]string{}
+	for d, id := range c.WeakPrime {
+		byPrime[id] = append(byPrime[id], d)
+	}
+	ids := make([]string, 0, len(byPrime))
+	for id := range byPrime {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	fmt.Fprintf(b, "  weak FFDH primes: %d registry prime(s) in service\n", len(ids))
+	for _, id := range ids {
+		doms := byPrime[id]
+		pre := vulnwindow.PrecompForBits(cryptanalysis.WeakPrimeBits(id))
+		fmt.Fprintf(b, "    %s (%d-bit): %d domain(s); one-time sieve %.0f core-years → %.1f core-years/domain amortized, then ~%.0f s per connection\n",
+			id, pre.PrimeBits, len(doms), pre.CoreYears, pre.AmortizedCoreYears(len(doms)), pre.PerConnSeconds)
+	}
+
+	// The measured result: replaying the tap recordings against the
+	// recovered keys.
+	y := c.Yield
+	core := len(r.DS.TrustedCore)
+	fmt.Fprintf(b, "  replay yield: %d of %d captured conversations decrypted — %d domain(s), %d plaintext bytes recovered\n",
+		y.Connections, y.Attempted, y.Domains, y.Bytes)
+	fmt.Fprintf(b, "  decryptable fraction: %s of the trusted core (calibration target: %.1f%%, Hebrok et al.)\n",
+		pct(y.Domains, core), 100*hebrokDecryptRate)
+	return b.String()
+}

@@ -17,6 +17,7 @@ import (
 	"sort"
 	"time"
 
+	"tlsshortcuts/internal/cryptanalysis"
 	"tlsshortcuts/internal/faults"
 	"tlsshortcuts/internal/population"
 	"tlsshortcuts/internal/scanner"
@@ -69,6 +70,15 @@ type Options struct {
 	// are scanned. MergeDatasets recombines the shards' outputs into a
 	// dataset byte-identical to the monolithic campaign's.
 	Shard *ShardSpec
+
+	// WeakCrypto appends the calibrated vulnerable operator profiles to
+	// the population (see population.Options.WeakCrypto) and runs the
+	// post-campaign cryptanalysis pass: tap-recorded captures, the
+	// weak-STEK dictionary search, key-name/keystream probes, the weak-
+	// prime audit, and the attacker replay measuring decryption yield,
+	// all landing in Dataset.Crypt. Off by default; with it off the
+	// dataset is byte-identical to the baseline golden.
+	WeakCrypto bool
 }
 
 // ShardSpec names one slice of a sharded campaign: shard Index of Count
@@ -168,6 +178,12 @@ type Dataset struct {
 	// its connections failed.
 	XDStats *scanner.XDStats `json:",omitempty"`
 
+	// Crypt holds the cryptanalysis pass findings and the attacker
+	// replay yield. Nil unless the campaign ran with WeakCrypto, so
+	// baseline datasets serialize byte-identically to pre-cryptanalysis
+	// ones (the golden hash proves it).
+	Crypt *cryptanalysis.Findings `json:",omitempty"`
+
 	// Shard identifies which slice of the campaign this dataset covers;
 	// nil for a monolithic run. MergeDatasets clears it, so a merged
 	// dataset serializes byte-identically to the monolithic one.
@@ -217,7 +233,7 @@ func Run(o Options) (*Dataset, error) {
 	} else if o.Trace != nil {
 		reg = telemetry.NewRegistry()
 	}
-	world, err := population.Build(population.Options{ListSize: o.ListSize, Seed: o.Seed})
+	world, err := population.Build(population.Options{ListSize: o.ListSize, Seed: o.Seed, WeakCrypto: o.WeakCrypto})
 	if err != nil {
 		return nil, err
 	}
@@ -363,6 +379,18 @@ func Run(o Options) (*Dataset, error) {
 	ds.CacheGroups = multiSets(uf)
 	ds.STEKGroups = secretGroups(ds.STEKSpans)
 	ds.DHGroups, ds.DHSingleton = dhGroups(ds.DHESpans, ds.ECDHESpans)
+
+	// Weak-crypto cryptanalysis pass (after the campaign proper: every
+	// connection's entropy is keyed on (domain, probe label), so the
+	// extra captures cannot perturb any observation above).
+	if o.WeakCrypto {
+		o.logf("cryptanalysis pass: capture, crack, replay (%d domains)", len(scanCore))
+		sp.begin()
+		ds.Crypt = runCryptanalysis(scan, scanCore)
+		sp.end("cryptanalysis", -1, len(scanCore), 0, 0)
+		o.logf("cryptanalysis: %d/%d captured conversations decrypted (%d domains, %d bytes)",
+			ds.Crypt.Yield.Connections, ds.Crypt.Yield.Attempted, ds.Crypt.Yield.Domains, ds.Crypt.Yield.Bytes)
+	}
 	ds.Dials = world.Net.DialCount()
 	return ds, nil
 }

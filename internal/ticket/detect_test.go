@@ -1,0 +1,143 @@
+package ticket
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+)
+
+// stekNamed builds a key with a caller-chosen name and key material, for
+// adversarial DetectKeyID inputs Derive cannot produce.
+func stekNamed(name []byte, aesSeed byte, f Format) *STEK {
+	k := &STEK{Format: f, Name: append([]byte(nil), name...)}
+	for i := range k.AESKey {
+		k.AESKey[i] = aesSeed ^ byte(i)
+	}
+	for i := range k.MACKey {
+		k.MACKey[i] = aesSeed ^ byte(i*7)
+	}
+	return k
+}
+
+// Regression: two RFC 5077 tickets under different keys whose 16-byte
+// names merely share a few leading bytes must not yield a bogus 4-byte
+// ID. The pre-clamp heuristic returned t1[:4] for any LCP >= 4.
+func TestDetectKeyIDRejectsPartialNameMatch(t *testing.T) {
+	st := testState()
+	n1 := []byte("vendAAAAAAAAAAAA") // 16 bytes, shared "vend" prefix
+	n2 := []byte("vendBBBBBBBBBBBB")
+	k1 := stekNamed(n1, 0x11, FormatRFC5077)
+	k2 := stekNamed(n2, 0x22, FormatRFC5077)
+	t1, err := k1.Seal(st, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := k2.Seal(st, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id := DetectKeyID(t1, t2); id != nil {
+		t.Errorf("different 16-byte names sharing a 4-byte prefix produced ID %x, want nil", id)
+	}
+}
+
+// Regression: an mbedTLS pair whose LCP runs past the 4-byte name into
+// shared IV bytes must clamp the ID to the name length. The pre-clamp
+// heuristic inflated any LCP >= 16 into a 16-byte ID containing IV (and
+// here even length-field) bytes, splitting one key into per-IV "keys" —
+// or, under a fixed-IV sealer, merging unrelated domains.
+func TestDetectKeyIDClampsToNameLen(t *testing.T) {
+	st := testState()
+	name := []byte{0xde, 0xad, 0xbe, 0xef}
+	k1 := stekNamed(name, 0x33, FormatMbedTLS)
+	k2 := stekNamed(name, 0x44, FormatMbedTLS) // same wire name, different key
+
+	// Both seals draw the same IV, so the LCP spans name+IV+len field
+	// before the ciphertexts (different AES keys) diverge.
+	iv := bytes.Repeat([]byte{0x5a}, 16)
+	t1, err := k1.Seal(st, bytes.NewReader(iv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := k2.Seal(st, bytes.NewReader(iv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcp := 0
+	for lcp < len(t1) && t1[lcp] == t2[lcp] {
+		lcp++
+	}
+	if lcp < 16 {
+		t.Fatalf("test setup: LCP %d does not reach the legacy 16-byte threshold", lcp)
+	}
+	id := DetectKeyID(t1, t2)
+	if !bytes.Equal(id, name) {
+		t.Errorf("DetectKeyID = %x, want the 4-byte name %x", id, name)
+	}
+
+	// Same key with a fixed IV: still exactly the name, never name+IV.
+	k1b := stekNamed(name, 0x33, FormatMbedTLS)
+	t3, err := k1b.Seal(st, bytes.NewReader(iv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id := DetectKeyID(t1, t3); !bytes.Equal(id, name) {
+		t.Errorf("same-key fixed-IV pair: DetectKeyID = %x, want %x", id, name)
+	}
+}
+
+func TestFormatOfAndAccessors(t *testing.T) {
+	st := testState()
+	for _, f := range []Format{FormatRFC5077, FormatMbedTLS, FormatSChannel} {
+		k := Derive([]byte("fmt"), f)
+		tkt, err := k.Seal(st, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := FormatOf(tkt)
+		if !ok || got != f {
+			t.Errorf("FormatOf(%v ticket) = %v, %v", f, got, ok)
+		}
+		if !bytes.Equal(KeyName(tkt), k.Name) {
+			t.Errorf("%v: KeyName = %x, want %x", f, KeyName(tkt), k.Name)
+		}
+		if iv := IVOf(tkt); len(iv) != 16 {
+			t.Errorf("%v: IVOf length %d, want 16", f, len(iv))
+		}
+	}
+	if f, ok := FormatOf([]byte("short")); ok {
+		t.Errorf("FormatOf accepted junk as %v", f)
+	}
+	if KeyName([]byte("short")) != nil || IVOf([]byte("short")) != nil {
+		t.Error("accessors returned data for an unrecognized layout")
+	}
+}
+
+func TestWeakIVSealsAreDeterministic(t *testing.T) {
+	st := testState()
+	k := Derive([]byte("weak-iv"), FormatMbedTLS)
+	k.WeakIV = true
+	t1, err := k.Seal(st, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := k.Seal(st, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(t1, t2) {
+		t.Error("WeakIV seals of identical state differ — IV not fixed")
+	}
+	if k.Open(t1) == nil {
+		t.Error("WeakIV ticket failed to open under its own key")
+	}
+	// A normally-derived twin draws random IVs and must not collide.
+	k2 := Derive([]byte("weak-iv"), FormatMbedTLS)
+	t3, err := k2.Seal(st, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(IVOf(t1), IVOf(t3)) {
+		t.Error("random-IV seal reproduced the weak IV")
+	}
+}

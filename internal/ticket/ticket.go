@@ -68,6 +68,67 @@ func (f Format) nameLen() int {
 
 var schannelMagic = []byte{0x53, 0x43, 0x48, 0x31} // "SCH1"
 
+// headerLen is the byte count preceding the IV for the format.
+func headerLen(f Format) int {
+	if f == FormatSChannel {
+		return len(schannelMagic) + 16
+	}
+	return f.nameLen()
+}
+
+// sealedWireLen is the fixed on-wire length of any ticket the format
+// seals: session states serialize to one known size, so the length alone
+// separates the formats (130 bytes RFC 5077, 118 mbedTLS, 134 SChannel).
+func sealedWireLen(f Format) int {
+	return headerLen(f) + aes.BlockSize + 2 + paddedStateLen + sha256.Size
+}
+
+// FormatOf infers the wire format of a sealed ticket. The SChannel
+// wrapper magic is definitive; RFC 5077 and mbedTLS are separated by the
+// fixed sealed length their key-name widths imply.
+func FormatOf(tkt []byte) (Format, bool) {
+	if bytes.HasPrefix(tkt, schannelMagic) {
+		if len(tkt) == sealedWireLen(FormatSChannel) {
+			return FormatSChannel, true
+		}
+		return 0, false
+	}
+	switch len(tkt) {
+	case sealedWireLen(FormatRFC5077):
+		return FormatRFC5077, true
+	case sealedWireLen(FormatMbedTLS):
+		return FormatMbedTLS, true
+	}
+	return 0, false
+}
+
+// KeyName returns the format-aware key-name bytes of a sealed ticket
+// (the key GUID for SChannel), or nil when the layout is unrecognized.
+// Unlike ExtractKeyID it never over-reads a 4-byte mbedTLS name into the
+// IV, so it is safe to index campaign-wide.
+func KeyName(tkt []byte) []byte {
+	f, ok := FormatOf(tkt)
+	if !ok {
+		return nil
+	}
+	if f == FormatSChannel {
+		return tkt[len(schannelMagic):headerLen(f)]
+	}
+	return tkt[:f.nameLen()]
+}
+
+// IVOf returns the CBC initialization vector of a sealed ticket, or nil
+// when the layout is unrecognized. A repeated IV under one key name is
+// the keystream-reuse signal the cryptanalysis probes look for.
+func IVOf(tkt []byte) []byte {
+	f, ok := FormatOf(tkt)
+	if !ok {
+		return nil
+	}
+	h := headerLen(f)
+	return tkt[h : h+aes.BlockSize]
+}
+
 // STEK is a session-ticket encryption key: the key name (format-specific
 // length), an AES-128-CBC encryption key, and an HMAC-SHA256 key.
 type STEK struct {
@@ -76,12 +137,20 @@ type STEK struct {
 	AESKey [16]byte
 	MACKey [32]byte
 
+	// WeakIV, when set before the key's first use, makes every seal
+	// derive its CBC IV deterministically from the key instead of drawing
+	// it from rand — modeling the fixed-IV deployments behind the AWS
+	// keystream-reuse flaw. Identical states then seal to byte-identical
+	// tickets, which is exactly what the cryptanalysis probes detect.
+	WeakIV bool
+
 	// Lazily-built derived state: the expanded AES block cipher and the
 	// wire header are fixed per key, and MAC instances are pooled, so the
 	// scanner's thousands of opens per key skip the per-call setup.
 	initOnce  sync.Once
 	block     cipher.Block
 	hdr       []byte
+	weakIV    [aes.BlockSize]byte
 	macPool   sync.Pool
 	plainPool sync.Pool // *[]byte decrypt scratch for OpenInto
 }
@@ -94,6 +163,10 @@ func (k *STEK) init() {
 		}
 		k.block = b
 		k.hdr = k.header()
+		if k.WeakIV {
+			iv := sha256.Sum256(append([]byte("stek-weak-iv:"), k.AESKey[:]...))
+			copy(k.weakIV[:], iv[:aes.BlockSize])
+		}
 	})
 }
 
@@ -163,7 +236,9 @@ func (k *STEK) AppendSeal(dst []byte, st *session.State, rand io.Reader) ([]byte
 	ivStart := len(dst)
 	var zero [aes.BlockSize]byte
 	dst = append(dst, zero[:]...)
-	if _, err := io.ReadFull(rand, dst[ivStart:ivStart+aes.BlockSize]); err != nil {
+	if k.WeakIV {
+		copy(dst[ivStart:], k.weakIV[:])
+	} else if _, err := io.ReadFull(rand, dst[ivStart:ivStart+aes.BlockSize]); err != nil {
 		return nil, err
 	}
 	dst = binary.BigEndian.AppendUint16(dst, uint16(paddedStateLen))
@@ -245,17 +320,35 @@ func ExtractKeyID(tkt []byte) []byte {
 }
 
 // DetectKeyID recovers a stable key identifier from two tickets issued
-// under the same STEK: the longest common prefix, truncated to the
-// matching format's header length. Returns nil if the tickets do not
-// share a plausible key name (different keys, or a rotation boundary).
+// under the same STEK: the longest common prefix, clamped to the
+// format's key-name length. Returns nil if the tickets do not share a
+// plausible key name (different keys, mismatched formats, or a rotation
+// boundary). Clamping matters both ways: an RFC 5077 pair whose 16-byte
+// names merely share a few leading bytes must not yield a bogus 4-byte
+// ID, and an mbedTLS pair with coincidentally matching IV prefix bytes
+// must not inflate its 4-byte name into a 16-byte one — either error
+// pollutes the cross-domain STEK groups with false merges.
 func DetectKeyID(t1, t2 []byte) []byte {
 	n := 0
 	for n < len(t1) && n < len(t2) && t1[n] == t2[n] {
 		n++
 	}
+	if f1, ok := FormatOf(t1); ok {
+		f2, ok2 := FormatOf(t2)
+		if !ok2 || f1 != f2 {
+			return nil
+		}
+		// For SChannel the header includes the shared wrapper magic, so
+		// n >= headerLen means the 16-byte key GUID matched.
+		if hl := headerLen(f1); n >= hl {
+			return t1[:hl]
+		}
+		return nil
+	}
+	// Unrecognized layout (not produced by our sealers): keep the legacy
+	// heuristic, still bounded by the longest key-name length any format
+	// carries.
 	if bytes.HasPrefix(t1, schannelMagic) && bytes.HasPrefix(t2, schannelMagic) {
-		// The magic is shared by every SChannel ticket; only a match
-		// through the 16-byte key GUID identifies a key.
 		if n >= 20 {
 			return t1[:20]
 		}
@@ -299,6 +392,12 @@ type Static struct {
 // NewStatic builds a static manager from seed material.
 func NewStatic(seed []byte, f Format) *Static {
 	k := Derive(seed, f)
+	return &Static{key: k, keys: []*STEK{k}}
+}
+
+// NewStaticFromKey wraps an already-built key — e.g. one with WeakIV set
+// — in a static manager.
+func NewStaticFromKey(k *STEK) *Static {
 	return &Static{key: k, keys: []*STEK{k}}
 }
 

@@ -57,6 +57,11 @@ type Config struct {
 	ECDHEPolicy  *keyex.Policy
 	DHEPolicy    *keyex.Policy
 
+	// DHEGroup overrides the FFDH group served in the ServerKeyExchange;
+	// nil means the default simulation group. The weak-crypto population
+	// points this at the shared export-grade group.
+	DHEGroup *ffdh.Group
+
 	// RestartBase anchors process-lifetime state (informational).
 	RestartBase time.Time
 
@@ -118,14 +123,15 @@ func (c *Config) certFor(sni string) *pki.Certificate {
 // are copied via string conversion, ticket state is decoded into fresh
 // session.State), so the accumulation buffer is reused too.
 type hsConn struct {
-	rc   record.Conn
-	buf  []byte
-	off  int       // consumed prefix of buf (keeps the base pointer pooled)
-	hash hash.Hash // running transcript digest
-	ex   prf.Expander
-	rng  drbg.Reader // per-connection deterministic entropy (RandSeed mode)
-	mbuf []byte      // outgoing handshake-message marshal scratch
-	sp   []byte      // SKE signed-params scratch
+	rc     record.Conn
+	buf    []byte
+	off    int       // consumed prefix of buf (keeps the base pointer pooled)
+	hash   hash.Hash // running transcript digest
+	ex     prf.Expander
+	rng    drbg.Reader // per-connection deterministic entropy (RandSeed mode)
+	sigRng drbg.Reader // separate stream for SKE signing (see full())
+	mbuf   []byte      // outgoing handshake-message marshal scratch
+	sp     []byte      // SKE signed-params scratch
 	// Per-connection wire structs, reused across pooled connections;
 	// nothing that outlives the handshake aliases them (the session cache
 	// copies its key, session.State holds only values).
@@ -386,7 +392,10 @@ func full(hc *hsConn, cfg *Config, ch *wire.ClientHello, now time.Time) (*sessio
 		ske.Public = pub
 		ecdhePriv = priv
 	case wire.KexDHE:
-		g := ffdh.TestGroup512()
+		g := cfg.DHEGroup
+		if g == nil {
+			g = ffdh.TestGroup512()
+		}
 		priv, pub, err := keyex.DHEKey(g, cfg.DHEPolicy, now, rnd)
 		if err != nil {
 			return nil, err
@@ -400,7 +409,18 @@ func full(hc *hsConn, cfg *Config, ch *wire.ClientHello, now time.Time) (*sessio
 	}
 	hc.sp = ske.AppendSignedParams(hc.sp[:0], ch.Random[:], sh.Random[:])
 	digest := sha256.Sum256(hc.sp)
-	sig, err := crt.Key.Sign(rnd, digest[:], crypto.SHA256)
+	// ECDSA's hedged signing consumes a scheduling-dependent number of
+	// bytes from its entropy source (crypto/internal randutil.MaybeReadByte),
+	// so in deterministic mode the signature gets its own stream: every
+	// later draw on the connection stream — the session-ticket IV — stays
+	// at a reproducible offset. Nothing recorded depends on signature
+	// bytes, only on their verifiability.
+	sigRand := rnd
+	if cfg.Rand == nil && cfg.RandSeed != nil {
+		hc.sigRng.ReseedParts(cfg.RandSeed, string(ch.Random[:]), "ske-sig")
+		sigRand = &hc.sigRng
+	}
+	sig, err := crt.Key.Sign(sigRand, digest[:], crypto.SHA256)
 	if err != nil {
 		return nil, err
 	}

@@ -9,12 +9,19 @@ import "time"
 // Mechanism identifies the crypto shortcut behind an exposure.
 type Mechanism string
 
-// The four measured mechanisms.
+// The four measured shortcut mechanisms, plus the weak-crypto mechanisms
+// surfaced by the cryptanalysis probes: a dictionary-recoverable STEK and
+// a known-weak (export-grade, shared) FFDH prime. The weak mechanisms
+// differ in kind — no compromise event is needed; the recorded traffic is
+// decryptable from public knowledge alone — so their windows span the
+// entire observation.
 const (
-	MechTicket Mechanism = "ticket"
-	MechCache  Mechanism = "cache"
-	MechDHE    Mechanism = "dhe"
-	MechECDHE  Mechanism = "ecdhe"
+	MechTicket    Mechanism = "ticket"
+	MechCache     Mechanism = "cache"
+	MechDHE       Mechanism = "dhe"
+	MechECDHE     Mechanism = "ecdhe"
+	MechWeakSTEK  Mechanism = "weak-stek"
+	MechFFDHPrime Mechanism = "ffdh-prime"
 )
 
 // Exposure is one (domain, mechanism) vulnerability window.
@@ -45,6 +52,53 @@ func KexWindow(spanDays int) time.Duration {
 		return 0
 	}
 	return time.Duration(spanDays) * 24 * time.Hour
+}
+
+// WeakWindow is the exposure for traffic decryptable without any
+// compromise event (cracked STEK, known-weak prime): every connection
+// recorded during the campaign is harmed, so the window is the full
+// observation length.
+func WeakWindow(campaignDays int) time.Duration {
+	return time.Duration(campaignDays) * 24 * time.Hour
+}
+
+// Precomp is the Logjam-style precomputation attacker model for a shared
+// FFDH prime: a one-time number-field-sieve first phase per prime, after
+// which each individual connection's discrete log falls in seconds. The
+// one-time cost amortizes over every domain (and every connection)
+// serving the prime — the economics that made export-grade groups a
+// target worth a week of cluster time.
+type Precomp struct {
+	PrimeBits      int
+	CoreYears      float64 // one-time per-prime sieve cost
+	PerConnSeconds float64 // marginal per-connection descent, post-sieve
+}
+
+// PrecompForBits returns the cost model for a prime of the given width,
+// calibrated to Adrian et al.'s measured numbers: a 512-bit sieve ran
+// about a week on 2000-3000 cores (~50 core-years), then ~70-90 s of
+// descent per individual discrete log.
+func PrecompForBits(bits int) Precomp {
+	p := Precomp{PrimeBits: bits}
+	switch {
+	case bits <= 512:
+		p.CoreYears, p.PerConnSeconds = 50, 90
+	case bits <= 768:
+		p.CoreYears, p.PerConnSeconds = 4500, 1200
+	default:
+		// 1024-bit: Adrian et al.'s nation-state estimate.
+		p.CoreYears, p.PerConnSeconds = 45e6, 30*86400
+	}
+	return p
+}
+
+// AmortizedCoreYears is the per-domain share of the one-time sieve when
+// nDomains serve the same prime.
+func (p Precomp) AmortizedCoreYears(nDomains int) float64 {
+	if nDomains < 1 {
+		nDomains = 1
+	}
+	return p.CoreYears / float64(nDomains)
 }
 
 // Combine reduces exposures to the per-domain maximum window: an
