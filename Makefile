@@ -8,7 +8,7 @@ BENCHPKG ?= tlsshortcuts
 BENCHTIME ?= 1x
 
 .PHONY: build test test-faults test-telemetry test-shards test-cryptanalysis \
-	race bench bench-campaign bench-gate bench-million fmt
+	test-obsv race bench bench-campaign bench-gate bench-million fmt
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,19 @@ test-cryptanalysis:
 	$(GO) test -count=1 ./internal/cryptanalysis ./internal/ticket ./internal/vulnwindow
 	$(GO) test -race -count=1 ./internal/attacker
 	$(GO) test -run 'WeakCrypto|CampaignDeterminism' -count=1 ./internal/study
+
+# Observability-plane suite. Fast half under -race: SSE broadcaster
+# accounting under churn (never blocks, every dropped event counted),
+# journal round-trip/validation/merge, prom exposition, and the cluster
+# view. Full half without -short: the golden 200x8 campaign re-run with
+# the whole plane attached (HTTP server + churning SSE subscribers +
+# flight-recorder journal + trace) must match the committed hash, the
+# journal's deterministic view must be identical across worker counts
+# and for sharded-vs-monolithic merges, and studyrun's fatal path must
+# finalize every sink (plus the simweb -metrics smoke).
+test-obsv:
+	$(GO) test -race -count=1 -run 'Broadcaster|Prom|Sanitize|JournalRoundTrip|JournalValidation|JournalVersion|JournalAbort|MergeJournals|ClusterView' ./internal/obsv
+	$(GO) test -count=1 ./internal/obsv ./cmd/studyrun ./cmd/simweb ./cmd/tlsobserve
 
 race:
 	$(GO) test -race ./...

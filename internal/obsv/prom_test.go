@@ -1,0 +1,77 @@
+package obsv
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"tlsshortcuts/internal/telemetry"
+)
+
+// TestWriteProm pins the exposition mapping: counters to _total,
+// histograms to cumulative _bucket/_sum/_count in seconds, wall/
+// metrics relabeled wall="true", and stable (sorted) output.
+func TestWriteProm(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("scanner/probes").Add(42)
+	reg.Counter("wall/scanner/busy_ns").Add(7)
+	reg.Histogram("scanner/vlatency/ticket").Observe(3 * time.Microsecond)
+	reg.Histogram("scanner/vlatency/ticket").Observe(2 * time.Millisecond)
+
+	var buf bytes.Buffer
+	WriteProm(&buf, reg.Snapshot())
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE tls_scanner_probes_total counter\n",
+		"tls_scanner_probes_total 42\n",
+		`tls_scanner_busy_ns_total{wall="true"} 7` + "\n",
+		"# TYPE tls_scanner_vlatency_ticket_seconds histogram\n",
+		`tls_scanner_vlatency_ticket_seconds_bucket{le="+Inf"} 2` + "\n",
+		"tls_scanner_vlatency_ticket_seconds_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative buckets: monotone non-decreasing, ending at count.
+	var prev int64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "tls_scanner_vlatency_ticket_seconds_bucket") {
+			continue
+		}
+		n, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if n < prev {
+			t.Errorf("bucket counts not cumulative: %q after %d", line, prev)
+		}
+		prev = n
+	}
+	if prev != 2 {
+		t.Errorf("last bucket = %d, want the observation count 2", prev)
+	}
+
+	// Identical snapshots render identically (stable ordering).
+	var buf2 bytes.Buffer
+	WriteProm(&buf2, reg.Snapshot())
+	if buf2.String() != out {
+		t.Error("exposition output not stable across renders")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"scanner/errors/reset": "scanner_errors_reset",
+		"a-b.c":                "a_b_c",
+		"ok_name9":             "ok_name9",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

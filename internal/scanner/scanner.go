@@ -264,7 +264,7 @@ func (s *Scanner) connect(ar *workerArena, dst *tlsclient.Capture, domain, label
 				tel.Histogram(names[1]).Observe(wait)
 				if err != nil {
 					tel.Counter(telemetry.CounterProbeFailures).Inc()
-					tel.Counter("scanner/errors/" + string(class)).Inc()
+					tel.Counter(telemetry.CounterErrorPrefix + string(class)).Inc()
 				} else {
 					tel.Counter(telemetry.CounterHandshakesCompleted).Inc()
 				}
@@ -273,7 +273,7 @@ func (s *Scanner) connect(ar *workerArena, dst *tlsclient.Capture, domain, label
 		}
 		if tel != nil {
 			tel.Counter(telemetry.CounterRetries).Inc()
-			tel.Counter("scanner/retries/" + string(class)).Inc()
+			tel.Counter(telemetry.CounterRetryClassPrefix + string(class)).Inc()
 		}
 		wait += s.backoff(domain, label, attempt)
 	}

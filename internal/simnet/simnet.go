@@ -197,7 +197,7 @@ func (n *Net) dial(domain, label string, stable bool) (net.Conn, error) {
 	}
 	if f := plan.Decide(domain, label, idx, seq); f.Kind != faults.None {
 		if tel != nil {
-			tel.Counter("simnet/faults/" + f.Kind.String()).Inc()
+			tel.Counter(telemetry.CounterFaultPrefix + f.Kind.String()).Inc()
 		}
 		switch f.Kind {
 		case faults.Refuse:

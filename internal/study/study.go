@@ -63,6 +63,19 @@ type Options struct {
 	// for span accounting; write errors are logged, never fatal.
 	Trace io.Writer
 
+	// Observer, when non-nil, receives one PhaseEvent at the start and
+	// the end of every campaign phase (each lifetime pass, each scan
+	// day, the cross-domain pass, the cryptanalysis pass). End events
+	// carry the completed telemetry.Span plus per-phase failure-class,
+	// fault-kind, and STEK-rotation counter deltas — the feed the obsv
+	// flight recorder journals. Like Trace, observing without a
+	// Telemetry registry uses a private one for delta accounting. An
+	// observer that returns an error ABORTS the campaign (that is the
+	// abort path the flight recorder finalizes journals through); a
+	// journaling observer that must never fail the run returns nil and
+	// records its write error internally.
+	Observer CampaignObserver
+
 	// Shard, when non-nil, restricts the campaign to one deterministic
 	// slice of the domain list (see ShardSpec). The world is still built
 	// in full — so ranks, operators, and per-domain server state are
@@ -79,6 +92,14 @@ type Options struct {
 	// all landing in Dataset.Crypt. Off by default; with it off the
 	// dataset is byte-identical to the baseline golden.
 	WeakCrypto bool
+}
+
+// CampaignObserver is the phase-lifecycle hook study.Run drives. The
+// interface is satisfied structurally (obsv.Journal implements it
+// without importing this package); the PhaseEvent payload lives in
+// telemetry so both sides share one vocabulary.
+type CampaignObserver interface {
+	OnPhase(ev telemetry.PhaseEvent) error
 }
 
 // ShardSpec names one slice of a sharded campaign: shard Index of Count
@@ -224,14 +245,16 @@ func Run(o Options) (*Dataset, error) {
 	}
 	// The session/ticket/keyex collectors report through the process
 	// global (they have no per-campaign injection point), so install the
-	// campaign's registry for the run's duration. A trace without a
-	// registry still needs one for span accounting — a private one, not
-	// installed globally.
+	// campaign's registry for the run's duration. A trace or observer
+	// without a registry still needs one for span and delta accounting —
+	// a private one, installed globally all the same so the deep-layer
+	// counters (STEK rotations above all) reach the flight recorder.
 	reg := o.Telemetry
+	if reg == nil && (o.Trace != nil || o.Observer != nil) {
+		reg = telemetry.NewRegistry()
+	}
 	if reg != nil {
 		defer telemetry.SetGlobal(reg)()
-	} else if o.Trace != nil {
-		reg = telemetry.NewRegistry()
 	}
 	world, err := population.Build(population.Options{ListSize: o.ListSize, Seed: o.Seed, WeakCrypto: o.WeakCrypto})
 	if err != nil {
@@ -319,13 +342,21 @@ func Run(o Options) (*Dataset, error) {
 	// Session-lifetime probes (Figures 1-2) run first, in lockstep
 	// virtual time from the campaign start.
 	o.logf("lifetime probes: session IDs (%d domains)", len(scanCore))
-	sp.begin()
+	if err := sp.begin("lifetime-id", -1, len(scanCore)); err != nil {
+		return nil, err
+	}
 	ds.IDLifetime = scan.LifetimeProbe(scanCore, false, 15*time.Minute, 30*time.Hour)
-	sp.end("lifetime-id", -1, len(scanCore), probeFails(ds.IDLifetime), 0)
+	if err := sp.end("lifetime-id", -1, len(scanCore), probeFails(ds.IDLifetime), 0); err != nil {
+		return nil, err
+	}
 	o.logf("lifetime probes: tickets")
-	sp.begin()
+	if err := sp.begin("lifetime-ticket", -1, len(scanCore)); err != nil {
+		return nil, err
+	}
 	ds.TicketLifetime = scan.LifetimeProbe(scanCore, true, time.Hour, 36*time.Hour)
-	sp.end("lifetime-ticket", -1, len(scanCore), probeFails(ds.TicketLifetime), 0)
+	if err := sp.end("lifetime-ticket", -1, len(scanCore), probeFails(ds.TicketLifetime), 0); err != nil {
+		return nil, err
+	}
 	agg.foldLifetime("lifetime-id", ds.IDLifetime)
 	agg.foldLifetime("lifetime-ticket", ds.TicketLifetime)
 
@@ -336,7 +367,9 @@ func Run(o Options) (*Dataset, error) {
 	var tBuf, dBuf, eBuf []scanner.Observation
 	for day := 0; day < o.Days; day++ {
 		clock.Set(start.Add(time.Duration(day) * 24 * time.Hour))
-		sp.begin()
+		if err := sp.begin("day", day, len(scanAll)); err != nil {
+			return nil, err
+		}
 		tBuf = scan.DailyInto(tBuf, scanAll, day, nil, true)
 		dBuf = scan.DailyInto(dBuf, scanCore, day, []uint16{wire.SuiteDHE}, false)
 		eBuf = scan.DailyInto(eBuf, scanCore, day, []uint16{wire.SuiteECDHE}, false)
@@ -351,7 +384,9 @@ func Run(o Options) (*Dataset, error) {
 		df, pf = agg.foldKexDay(eBuf, "ecdhe", wire.KexECDHE, ds.ECDHESpans, day)
 		dayFails, pairFails = dayFails+df, pairFails+pf
 		reg.Counter(telemetry.CounterDaysCompleted).Inc()
-		sp.end("day", day, len(scanAll), dayFails, pairFails)
+		if err := sp.end("day", day, len(scanAll), dayFails, pairFails); err != nil {
+			return nil, err
+		}
 		o.logf("day %d/%d scanned", day+1, o.Days)
 	}
 	agg.finish()
@@ -361,9 +396,13 @@ func Run(o Options) (*Dataset, error) {
 	// whose initiator the shard owns is discovered exactly as in the
 	// monolithic run.
 	o.logf("cross-domain cache probes (budget 5+5)")
-	sp.begin()
+	if err := sp.begin("cross-domain", -1, len(scanCore)); err != nil {
+		return nil, err
+	}
 	uf, xd := scan.CrossDomainGroupsIn(scanCore, core, world.Net, 5, 5)
-	sp.end("cross-domain", -1, len(scanCore), xd.InitFailed, xd.ProbeFailed)
+	if err := sp.end("cross-domain", -1, len(scanCore), xd.InitFailed, xd.ProbeFailed); err != nil {
+		return nil, err
+	}
 	if xd.InitFailed > 0 || xd.ProbeFailed > 0 {
 		ds.XDStats = &xd
 		o.logf("cross-domain: %d/%d sessioned, %d init + %d probe connections failed",
@@ -385,9 +424,13 @@ func Run(o Options) (*Dataset, error) {
 	// extra captures cannot perturb any observation above).
 	if o.WeakCrypto {
 		o.logf("cryptanalysis pass: capture, crack, replay (%d domains)", len(scanCore))
-		sp.begin()
+		if err := sp.begin("cryptanalysis", -1, len(scanCore)); err != nil {
+			return nil, err
+		}
 		ds.Crypt = runCryptanalysis(scan, scanCore)
-		sp.end("cryptanalysis", -1, len(scanCore), 0, 0)
+		if err := sp.end("cryptanalysis", -1, len(scanCore), 0, 0); err != nil {
+			return nil, err
+		}
 		o.logf("cryptanalysis: %d/%d captured conversations decrypted (%d domains, %d bytes)",
 			ds.Crypt.Yield.Connections, ds.Crypt.Yield.Attempted, ds.Crypt.Yield.Domains, ds.Crypt.Yield.Bytes)
 	}
@@ -396,10 +439,12 @@ func Run(o Options) (*Dataset, error) {
 }
 
 // spanner emits one telemetry.Span JSONL line per scan phase, deriving
-// per-phase handshake and retry counts from registry deltas. A nil
-// *spanner no-ops, so Run calls begin/end unconditionally.
+// per-phase handshake and retry counts from registry deltas, and drives
+// the campaign observer's phase lifecycle. A nil *spanner no-ops, so
+// Run calls begin/end unconditionally.
 type spanner struct {
 	w       io.Writer
+	obs     CampaignObserver
 	reg     *telemetry.Registry
 	workers int
 	days    int
@@ -410,36 +455,57 @@ type spanner struct {
 	handshakes uint64
 	retries    uint64
 	busy       uint64
+	prev       *telemetry.Snapshot // observer delta base, taken in begin
 }
 
-// newSpanner returns nil — telemetry off — unless a trace is requested.
+// newSpanner returns nil — phase accounting off — unless a trace or an
+// observer is attached.
 func newSpanner(o Options, reg *telemetry.Registry, clock simclock.Clock) *spanner {
-	if o.Trace == nil {
+	if o.Trace == nil && o.Observer == nil {
 		return nil
 	}
 	workers := o.Workers
 	if workers <= 0 {
 		workers = 8 // scanner's pool default
 	}
-	return &spanner{w: o.Trace, reg: reg, workers: workers, days: o.Days, clock: clock, logf: o.Logf}
+	return &spanner{w: o.Trace, obs: o.Observer, reg: reg, workers: workers, days: o.Days, clock: clock, logf: o.Logf}
 }
 
-// begin snapshots the counters the next end() will diff against.
-func (sp *spanner) begin() {
+// begin snapshots the counters the next end() will diff against and
+// notifies the observer the phase opened. An observer error aborts the
+// campaign.
+func (sp *spanner) begin(phase string, day, domains int) error {
 	if sp == nil {
-		return
+		return nil
 	}
 	sp.start = time.Now()
 	sp.handshakes = sp.reg.Value(telemetry.CounterHandshakesStarted)
 	sp.retries = sp.reg.Value(telemetry.CounterRetries)
 	sp.busy = sp.reg.Value(telemetry.CounterBusyNanos)
+	if sp.obs == nil {
+		return nil
+	}
+	sp.prev = sp.reg.Snapshot()
+	return sp.obs.OnPhase(telemetry.PhaseEvent{
+		Start: true,
+		Span: telemetry.Span{
+			Phase:       phase,
+			Day:         day,
+			Days:        sp.days,
+			VirtualDate: sp.clock.Now().UTC().Format(time.RFC3339),
+			Domains:     domains,
+			Workers:     sp.workers,
+		},
+	})
 }
 
-// end writes the phase's span. Trace write errors are logged and
-// swallowed: telemetry must never fail a campaign.
-func (sp *spanner) end(phase string, day, domains, failures, pairFails int) {
+// end writes the phase's span and delivers the observer's end event
+// with per-phase counter deltas. Trace write errors are logged and
+// swallowed — telemetry must never fail a campaign — but an observer
+// error aborts it (that is the flight recorder's abort path).
+func (sp *spanner) end(phase string, day, domains, failures, pairFails int) error {
 	if sp == nil {
-		return
+		return nil
 	}
 	wall := time.Since(sp.start)
 	span := telemetry.Span{
@@ -459,9 +525,43 @@ func (sp *spanner) end(phase string, day, domains, failures, pairFails int) {
 		busy := sp.reg.Value(telemetry.CounterBusyNanos) - sp.busy
 		span.Utilization = float64(busy) / (float64(wall) * float64(sp.workers))
 	}
-	if err := span.Encode(sp.w); err != nil && sp.logf != nil {
-		sp.logf("telemetry: trace write failed: %v", err)
+	if sp.w != nil {
+		if err := span.Encode(sp.w); err != nil && sp.logf != nil {
+			sp.logf("telemetry: trace write failed: %v", err)
+		}
 	}
+	if sp.obs == nil {
+		return nil
+	}
+	cur := sp.reg.Snapshot()
+	ev := telemetry.PhaseEvent{
+		Span:           span,
+		FailureClasses: counterDeltas(sp.prev, cur, telemetry.CounterErrorPrefix),
+		Faults:         counterDeltas(sp.prev, cur, telemetry.CounterFaultPrefix),
+		STEKRotations:  cur.Counters[telemetry.CounterSTEKRotations] - sp.prev.Counters[telemetry.CounterSTEKRotations],
+	}
+	sp.prev = nil
+	return sp.obs.OnPhase(ev)
+}
+
+// counterDeltas subtracts prev from cur over one counter-name prefix,
+// keeping only the suffixes that moved during the phase.
+func counterDeltas(prev, cur *telemetry.Snapshot, prefix string) map[string]uint64 {
+	curP := cur.PrefixCounters(prefix)
+	if len(curP) == 0 {
+		return nil
+	}
+	prevP := prev.PrefixCounters(prefix)
+	var out map[string]uint64
+	for k, v := range curP {
+		if d := v - prevP[k]; d > 0 {
+			if out == nil {
+				out = make(map[string]uint64)
+			}
+			out[k] = d
+		}
+	}
+	return out
 }
 
 // probeFails counts lifetime probes whose initial handshake failed for a

@@ -59,6 +59,23 @@ const (
 	// CounterDaysCompleted counts finished scan days; the -progress
 	// ticker renders it as "day N/M".
 	CounterDaysCompleted = "study/days_completed"
+	// CounterSTEKRotations counts observed ticket-key rotations (exactly
+	// one per epoch transition per manager, whatever the interleaving).
+	CounterSTEKRotations = "ticket/stek_rotations"
+)
+
+// Shared counter-name prefixes: instrumentation sites append a dynamic
+// suffix (error class, fault kind), and readers — the obsv progress
+// endpoint, the flight-recorder's per-phase deltas — select by prefix.
+const (
+	// CounterErrorPrefix + faults.ErrClass counts probes whose final
+	// attempt failed with that class.
+	CounterErrorPrefix = "scanner/errors/"
+	// CounterRetryClassPrefix + faults.ErrClass counts retry attempts
+	// provoked by that transient class.
+	CounterRetryClassPrefix = "scanner/retries/"
+	// CounterFaultPrefix + faults.Kind counts injected network faults.
+	CounterFaultPrefix = "simnet/faults/"
 )
 
 // Counter is a monotonically increasing atomic counter. A nil Counter
@@ -388,6 +405,58 @@ func MergeSnapshots(shards ...*Snapshot) *Snapshot {
 	return out
 }
 
+// MergeSnapshotsKeyed merges per-shard snapshots into one cross-shard
+// view the way a live aggregator needs it: metrics outside the wall/
+// subtree sum exactly as MergeSnapshots (they are deterministic and
+// shard-additive), but wall/ metrics — real latencies, busy time,
+// cache-fill counts — are per-process observations that would be
+// meaningless summed across machines, so each shard's wall subtree is
+// kept separate under "wall/<key>/<rest>". Keys must be unique.
+func MergeSnapshotsKeyed(shards map[string]*Snapshot) *Snapshot {
+	det := make([]*Snapshot, 0, len(shards))
+	for _, s := range shards {
+		det = append(det, s.Deterministic())
+	}
+	out := MergeSnapshots(det...)
+	for key, s := range shards {
+		if s == nil {
+			continue
+		}
+		for name, v := range s.Counters {
+			if strings.HasPrefix(name, WallPrefix) {
+				out.Counters[WallPrefix+key+"/"+name[len(WallPrefix):]] = v
+			}
+		}
+		for name, h := range s.Histograms {
+			if strings.HasPrefix(name, WallPrefix) {
+				out.Histograms[WallPrefix+key+"/"+name[len(WallPrefix):]] = h
+			}
+		}
+	}
+	return out
+}
+
+// PrefixCounters returns the counters under prefix, keyed by the name
+// with the prefix stripped (e.g. PrefixCounters(CounterErrorPrefix)
+// yields failure counts by error class). Zero-valued counters are
+// omitted, matching what a delta reader wants.
+func (s *Snapshot) PrefixCounters(prefix string) map[string]uint64 {
+	if s == nil {
+		return nil
+	}
+	var out map[string]uint64
+	for name, v := range s.Counters {
+		if v == 0 || !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]uint64)
+		}
+		out[name[len(prefix):]] = v
+	}
+	return out
+}
+
 // addHistogramSnapshots combines two snapshots of the shared bucket
 // ladder, preserving ascending bound order with overflow (-1) last.
 func addHistogramSnapshots(a, b HistogramSnapshot) HistogramSnapshot {
@@ -511,6 +580,29 @@ type Span struct {
 	Workers int `json:"workers"`
 	// Utilization is busy worker time / (wall time × workers), in [0,1].
 	Utilization float64 `json:"utilization"`
+}
+
+// PhaseEvent is the campaign-phase lifecycle notification study.Run
+// delivers to an attached observer (the obsv flight recorder listens
+// through it). A Start event carries only the identifying span fields
+// (Phase, Day, Days, VirtualDate, Domains, Workers); the end event adds
+// the completed span plus the per-phase counter deltas a journal wants
+// attributed to the phase they happened in.
+type PhaseEvent struct {
+	// Span identifies the phase; on end events every field is filled.
+	Span Span
+	// Start is true at phase entry, false at phase completion.
+	Start bool
+	// FailureClasses maps faults.ErrClass -> probes that ended the phase
+	// failed with that class (delta over the phase; end events only).
+	FailureClasses map[string]uint64
+	// Faults maps injected-fault kind -> occurrences during the phase.
+	Faults map[string]uint64
+	// STEKRotations counts ticket-key rotations observed in the phase.
+	// Deterministic across worker counts but NOT shard-additive: a
+	// per-operator manager rotates lazily in every shard that touches
+	// its domains, so cross-shard journal merges must normalize it out.
+	STEKRotations uint64
 }
 
 // Encode writes the span as one JSON line.

@@ -281,3 +281,142 @@ func TestMergeSnapshots(t *testing.T) {
 		t.Fatalf("MergeHistograms over merged snapshot differs:\n  got  %+v\n  want %+v", got, want)
 	}
 }
+
+// TestQuantileMeanEdgeCases pins the histogram-snapshot estimators on
+// the degenerate inputs the cross-shard aggregator feeds them: empty
+// histograms (a shard that never observed the family), q at and outside
+// the [0,1] ends, and single-bucket distributions.
+func TestQuantileMeanEdgeCases(t *testing.T) {
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty p50 = %v, want 0", got)
+	}
+	if got := empty.Quantile(1); got != 0 {
+		t.Fatalf("empty p100 = %v, want 0", got)
+	}
+	if got := empty.Mean(); got != 0 {
+		t.Fatalf("empty mean = %v, want 0", got)
+	}
+
+	r := NewRegistry()
+	h := r.Histogram("one")
+	for i := 0; i < 7; i++ {
+		h.Observe(3 * time.Microsecond) // single bucket, le=4µs
+	}
+	s := r.Snapshot().Histograms["one"]
+	if len(s.Buckets) != 1 {
+		t.Fatalf("want single bucket, got %+v", s.Buckets)
+	}
+	// q<=0 is defined as 0; every in-range q lands in the only bucket.
+	if got := s.Quantile(0); got != 0 {
+		t.Fatalf("q=0 = %v, want 0", got)
+	}
+	if got := s.Quantile(-1); got != 0 {
+		t.Fatalf("q=-1 = %v, want 0", got)
+	}
+	for _, q := range []float64{0.0001, 0.5, 1} {
+		if got := s.Quantile(q); got != 4*time.Microsecond {
+			t.Fatalf("single-bucket q=%v = %v, want 4µs", q, got)
+		}
+	}
+	// q>1 asks past the last observation; the estimator saturates at Max.
+	if got := s.Quantile(2); got != s.Max {
+		t.Fatalf("q=2 = %v, want Max %v", got, s.Max)
+	}
+	if got := s.Mean(); got != 3*time.Microsecond {
+		t.Fatalf("single-value mean = %v, want 3µs", got)
+	}
+
+	// Overflow-only distribution: every quantile resolves to Max, not to
+	// the sentinel -1 bound.
+	r2 := NewRegistry()
+	r2.Histogram("ovf").Observe(400 * time.Hour)
+	o := r2.Snapshot().Histograms["ovf"]
+	if got := o.Quantile(0.5); got != 400*time.Hour {
+		t.Fatalf("overflow p50 = %v, want 400h", got)
+	}
+}
+
+// TestMergeSnapshotsAssociative: the cross-shard aggregator merges in
+// whatever order peers answer, so merge(a, merge(b, c)) must equal
+// merge(merge(a, b), c) — and both must equal the flat three-way merge.
+func TestMergeSnapshotsAssociative(t *testing.T) {
+	mk := func(seed int, obs ...time.Duration) *Snapshot {
+		r := NewRegistry()
+		r.Counter("scanner/probes").Add(uint64(seed))
+		r.Counter("wall/scanner/busy_ns").Add(uint64(seed) * 17)
+		for _, d := range obs {
+			r.Histogram("scanner/vlatency/daily|ticket").Observe(d)
+		}
+		return r.Snapshot()
+	}
+	a := mk(3, 2*time.Microsecond)
+	b := mk(5, 900*time.Millisecond, 100*time.Hour)
+	c := mk(11, 3*time.Microsecond, time.Minute)
+
+	left := MergeSnapshots(MergeSnapshots(a, b), c)
+	right := MergeSnapshots(a, MergeSnapshots(b, c))
+	flat := MergeSnapshots(a, b, c)
+	if !reflect.DeepEqual(left, right) {
+		t.Fatalf("merge not associative:\n  (a·b)·c %+v\n  a·(b·c) %+v", left, right)
+	}
+	if !reflect.DeepEqual(left, flat) {
+		t.Fatalf("nested merge differs from flat merge:\n  nested %+v\n  flat   %+v", left, flat)
+	}
+	// Identity: merging a single snapshot is a deep copy.
+	solo := MergeSnapshots(a)
+	if !reflect.DeepEqual(solo.Counters, a.Counters) || !reflect.DeepEqual(solo.Histograms, a.Histograms) {
+		t.Fatalf("single-snapshot merge not an identity:\n  got  %+v\n  want %+v", solo, a)
+	}
+}
+
+// TestMergeSnapshotsKeyed: deterministic metrics sum across shards,
+// wall/ metrics survive per shard under wall/<key>/ and never sum.
+func TestMergeSnapshotsKeyed(t *testing.T) {
+	mk := func(probes, busy uint64) *Snapshot {
+		r := NewRegistry()
+		r.Counter("scanner/probes").Add(probes)
+		r.Counter("wall/scanner/busy_ns").Add(busy)
+		r.Histogram("wall/scanner/latency/daily|ticket").Observe(time.Millisecond)
+		r.Histogram("scanner/vlatency/daily|ticket").Observe(time.Second)
+		return r.Snapshot()
+	}
+	m := MergeSnapshotsKeyed(map[string]*Snapshot{
+		"shard0": mk(10, 100),
+		"shard1": mk(20, 999),
+	})
+	if got := m.Counters["scanner/probes"]; got != 30 {
+		t.Fatalf("deterministic counter = %d, want 30", got)
+	}
+	if _, ok := m.Counters["wall/scanner/busy_ns"]; ok {
+		t.Fatal("wall counter was summed across shards")
+	}
+	if got := m.Counters["wall/shard0/scanner/busy_ns"]; got != 100 {
+		t.Fatalf("shard0 wall counter = %d, want 100", got)
+	}
+	if got := m.Counters["wall/shard1/scanner/busy_ns"]; got != 999 {
+		t.Fatalf("shard1 wall counter = %d, want 999", got)
+	}
+	if h := m.Histograms["scanner/vlatency/daily|ticket"]; h.Count != 2 {
+		t.Fatalf("deterministic histogram count = %d, want 2", h.Count)
+	}
+	if h := m.Histograms["wall/shard1/scanner/latency/daily|ticket"]; h.Count != 1 {
+		t.Fatalf("shard1 wall histogram count = %d, want 1", h.Count)
+	}
+}
+
+// TestPrefixCounters: suffix keying, zero omission, nil safety.
+func TestPrefixCounters(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(CounterErrorPrefix + "timeout").Add(3)
+	r.Counter(CounterErrorPrefix + "dial").Add(0) // zero: omitted
+	r.Counter("scanner/probes").Add(9)
+	got := r.Snapshot().PrefixCounters(CounterErrorPrefix)
+	want := map[string]uint64{"timeout": 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("PrefixCounters = %v, want %v", got, want)
+	}
+	if (*Snapshot)(nil).PrefixCounters("x") != nil {
+		t.Fatal("nil snapshot must yield nil")
+	}
+}

@@ -499,7 +499,7 @@ func (r *Rotating) IssuingKey(now time.Time) *STEK {
 	// virtual clock fixes every phase's epoch, so the rotation count is
 	// deterministic across worker counts.
 	if prev := r.lastIssued.Swap(e + 1); prev != 0 && prev != e+1 {
-		telemetry.Global().Counter("ticket/stek_rotations").Inc()
+		telemetry.Global().Counter(telemetry.CounterSTEKRotations).Inc()
 	}
 	return r.key(e)
 }
