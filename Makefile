@@ -8,7 +8,7 @@ BENCHPKG ?= tlsshortcuts
 BENCHTIME ?= 1x
 
 .PHONY: build test test-faults test-telemetry test-shards test-cryptanalysis \
-	test-obsv race bench bench-campaign bench-gate bench-million fmt
+	test-obsv test-traffic race bench bench-campaign bench-gate bench-million fmt
 
 build:
 	$(GO) build ./...
@@ -66,6 +66,18 @@ test-cryptanalysis:
 test-obsv:
 	$(GO) test -race -count=1 -run 'Broadcaster|Prom|Sanitize|JournalRoundTrip|JournalValidation|JournalVersion|JournalAbort|MergeJournals|ClusterView' ./internal/obsv
 	$(GO) test -count=1 ./internal/obsv ./cmd/studyrun ./cmd/simweb ./cmd/tlsobserve
+
+# Traffic-plane suite: the workload model's purity and engine determinism
+# (worker counts, user shards), the session store's bounded-LRU eviction
+# order, the stable-dial isolation proof, the zero-wall-delta progress
+# guards, the timeline traffic lanes, and the study-level contract — a
+# traffic-on campaign is deterministic across workers and shard merges,
+# and with traffic off the golden 200x8 hash still holds.
+test-traffic:
+	$(GO) test -count=1 ./internal/traffic
+	$(GO) test -run 'BoundedCache|StableDials|ProgressZeroWallDelta|ProgressCounterRollback|ProgressTrafficFields|Timeline' \
+		-count=1 ./internal/session ./internal/simnet ./internal/obsv ./cmd/tlsobserve
+	$(GO) test -run 'Traffic|CampaignDeterminism' -count=1 ./internal/study
 
 race:
 	$(GO) test -race ./...

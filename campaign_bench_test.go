@@ -14,6 +14,7 @@ import (
 
 	"tlsshortcuts/internal/study"
 	"tlsshortcuts/internal/telemetry"
+	"tlsshortcuts/internal/traffic"
 )
 
 // benchCampaignSeedSeconds is the same campaign timed at the pre-perf-pass
@@ -60,6 +61,24 @@ func BenchmarkCampaignE2E(b *testing.B) {
 	if out == "" {
 		return
 	}
+
+	// One traffic-enabled campaign, timed outside the benchmark loop: the
+	// headline metrics keep their traffic-off meaning, and this run prices
+	// the traffic plane as its own trajectory point (simulated sessions
+	// completed per wall second, campaign running concurrently).
+	trafficUsers := size / 2
+	tStart := time.Now()
+	tds, err := study.Run(study.Options{
+		ListSize: size, Days: days, Seed: 3, Workers: 16,
+		Traffic: &traffic.Options{Users: trafficUsers},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	trafficSeconds := time.Since(tStart).Seconds()
+	trafficSessionsPerSec := float64(tds.Traffic.Conns()) / trafficSeconds
+	b.ReportMetric(trafficSessionsPerSec, "traffic-sessions/s")
+
 	secPerOp := elapsed.Seconds() / float64(b.N)
 	doc := map[string]interface{}{
 		"benchmark":          "CampaignE2E",
@@ -75,6 +94,10 @@ func BenchmarkCampaignE2E(b *testing.B) {
 		"allocs_per_op":      (ms1.Mallocs - ms0.Mallocs) / uint64(b.N),
 		"alloc_bytes_per_op": (ms1.TotalAlloc - ms0.TotalAlloc) / uint64(b.N),
 		"telemetry":          benchTelemetry(reg.Snapshot(), uint64(b.N)),
+
+		"traffic_users":            trafficUsers,
+		"traffic_sessions_per_op":  tds.Traffic.Conns(),
+		"traffic_sessions_per_sec": trafficSessionsPerSec,
 	}
 	if size == 1000 && days == 44 {
 		doc["baseline_seed_seconds"] = benchCampaignSeedSeconds

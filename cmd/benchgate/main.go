@@ -22,6 +22,12 @@
 //     same loose tolerance as seconds_per_op (a drop below
 //     baseline/(1+tol) fails).
 //
+// One optional metric rides along: traffic_sessions_per_sec (the traffic
+// plane's simulated-session throughput). It is gated on the loose
+// tolerance when both documents carry it; a baseline that has it and a
+// current run that lost it is a failure (the bench stopped measuring the
+// traffic plane).
+//
 // The gate refuses to compare runs of different campaign shapes
 // (list_size/days/workers/seed must match the baseline).
 package main
@@ -43,6 +49,10 @@ type benchDoc struct {
 	AllocBytesPerOp  float64 `json:"alloc_bytes_per_op"`
 	SecondsPerOp     float64 `json:"seconds_per_op"`
 	HandshakesPerSec float64 `json:"handshakes_per_sec"`
+	// TrafficSessionsPerSec is optional: zero means the run predates the
+	// traffic plane (or skipped it), and the gate only compares it when
+	// both documents carry it.
+	TrafficSessionsPerSec float64 `json:"traffic_sessions_per_sec"`
 }
 
 func load(path string) (*benchDoc, error) {
@@ -118,6 +128,13 @@ func main() {
 	check("alloc_bytes_per_op", base.AllocBytesPerOp, cur.AllocBytesPerOp, *allocsTol)
 	check("seconds_per_op", base.SecondsPerOp, cur.SecondsPerOp, *secondsTol)
 	checkDrop("handshakes_per_sec", base.HandshakesPerSec, cur.HandshakesPerSec, *secondsTol)
+	switch {
+	case base.TrafficSessionsPerSec > 0 && cur.TrafficSessionsPerSec > 0:
+		checkDrop("traffic_sessions/s", base.TrafficSessionsPerSec, cur.TrafficSessionsPerSec, *secondsTol)
+	case base.TrafficSessionsPerSec > 0:
+		fmt.Println("traffic_sessions/s  present in baseline but missing from current run  REGRESSION")
+		fail = true
+	}
 	if fail {
 		fmt.Println("benchgate: FAIL — performance regressed past tolerance")
 		fmt.Println("benchgate: if the regression is intentional, refresh the committed baseline")

@@ -15,6 +15,13 @@
 // The merged dataset is byte-identical to the monolithic run's (the CI
 // determinism job enforces this against a committed golden hash).
 //
+// Simulated user traffic (adds a Traffic section to dataset and report;
+// provably inert to the scanner's observations — with the flag off the
+// dataset is byte-identical to a run that never had the feature):
+//
+//	studyrun -traffic                        # listsize/2 users, ~6 visits/user-day
+//	studyrun -traffic -traffic-users 200     # explicit user population
+//
 // Observability (all off by default; none of it perturbs the dataset):
 //
 //	studyrun -progress                       # live stderr ticker: day N/M, handshakes/s, failure rate
@@ -53,6 +60,7 @@ import (
 	"tlsshortcuts/internal/obsv"
 	"tlsshortcuts/internal/study"
 	"tlsshortcuts/internal/telemetry"
+	"tlsshortcuts/internal/traffic"
 )
 
 func main() {
@@ -70,6 +78,11 @@ func main() {
 		merge = flag.Bool("merge", false, "merge shard dataset files (given as args) into -out instead of running")
 
 		weakCrypto = flag.Bool("weak-crypto", false, "seed weak-STEK / shared-key-name / export-DH operators and run the cryptanalysis pass")
+
+		trafficOn     = flag.Bool("traffic", false, "run the simulated-user traffic plane alongside the campaign")
+		trafficUsers  = flag.Int("traffic-users", 0, "simulated user population (default listsize/2)")
+		trafficSeed   = flag.Int64("traffic-seed", 0, "traffic workload seed (defaults to -seed)")
+		trafficVisits = flag.Float64("traffic-visits", 0, "mean visits per user per day (default 6)")
 
 		probeTimeout = flag.Duration("probe-timeout", 0, "per-connection deadline (0 = scanner default, <0 disables)")
 		retries      = flag.Int("retries", 0, "transient-failure retries (0 = scanner default, <0 disables)")
@@ -120,6 +133,17 @@ func main() {
 			ChurnMaxDays: *churnDays,
 		}
 	}
+	var to *traffic.Options
+	if *trafficOn || *trafficUsers > 0 {
+		tu := *trafficUsers
+		if tu <= 0 {
+			tu = *listSize / 2
+			if tu < 1 {
+				tu = 1
+			}
+		}
+		to = &traffic.Options{Users: tu, Seed: *trafficSeed, MeanVisits: *trafficVisits}
+	}
 	cfg := runConfig{
 		opts: study.Options{
 			ListSize:     *listSize,
@@ -131,6 +155,7 @@ func main() {
 			ProbeTimeout: *probeTimeout,
 			Retries:      *retries,
 			WeakCrypto:   *weakCrypto,
+			Traffic:      to,
 		},
 		shard:         *shard,
 		out:           *out,

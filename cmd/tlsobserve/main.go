@@ -23,6 +23,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -43,7 +44,7 @@ func main() {
 	case "serve":
 		err = runServe(os.Args[2:])
 	case "timeline":
-		err = runTimeline(os.Args[2:])
+		err = runTimeline(os.Stdout, os.Args[2:])
 	case "diff":
 		err = runDiff(os.Args[2:])
 	case "-h", "-help", "--help", "help":
@@ -157,8 +158,17 @@ func laneKey(path string, evs []obsv.Event) string {
 	return base
 }
 
+// trafficPhase reports whether a phase belongs to the traffic plane
+// (studyrun emits "traffic-day" phase spans when -traffic is on). Traffic
+// phases get their own timeline lane instead of riding the scan lanes:
+// the scan phase sequence must align positionally across shards whether
+// or not traffic ran.
+func trafficPhase(phase string) bool {
+	return strings.HasPrefix(phase, "traffic")
+}
+
 // runTimeline prints the correlated cross-shard timeline.
-func runTimeline(args []string) error {
+func runTimeline(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
 	topK := fs.Int("k", 5, "number of slowest phases to list")
 	if err := fs.Parse(args); err != nil {
@@ -186,36 +196,51 @@ func runTimeline(args []string) error {
 
 	// Header: campaign identity from the first journal's start event.
 	start := lanes[0].evs[0]
-	fmt.Printf("campaign: %d domains x %d days, seed %d — %d shard journal(s)\n",
+	fmt.Fprintf(w, "campaign: %d domains x %d days, seed %d — %d shard journal(s)\n",
 		start.ListSize, start.Days, start.Seed, len(lanes))
 	terminal := lanes[0].evs[len(lanes[0].evs)-1]
 	switch terminal.Type {
 	case obsv.EventCampaignEnd:
-		fmt.Printf("status: completed, dataset sha256 %s\n", terminal.DatasetSHA256)
+		fmt.Fprintf(w, "status: completed, dataset sha256 %s\n", terminal.DatasetSHA256)
 	case obsv.EventCampaignAborted:
-		fmt.Printf("status: ABORTED — %s\n", terminal.Err)
+		fmt.Fprintf(w, "status: ABORTED — %s\n", terminal.Err)
 	default:
-		fmt.Printf("status: in progress (journal ends with %s)\n", terminal.Type)
+		fmt.Fprintf(w, "status: in progress (journal ends with %s)\n", terminal.Type)
 	}
 
-	// Correlated lanes: every phase_end, aligned positionally across
-	// shards (shards emit identical phase sequences; a divergence is
-	// itself a finding, so it is printed rather than fatal).
-	fmt.Printf("\ntimeline (aligned on virtual day):\n")
-	fmt.Printf("%-16s %-4s %-21s", "phase", "day", "virtual")
-	for _, ln := range lanes {
-		fmt.Printf("  %-28s", ln.key)
-	}
-	fmt.Println()
-	// Index phase_end events per lane.
+	// Index phase_end events per lane. Scan phases align positionally
+	// across shards; traffic-day phases are keyed by day and rendered in
+	// a per-journal ":traffic" lane on the matching scan-day row.
 	perLane := make([][]obsv.Event, len(lanes))
+	perTraffic := make([]map[int]obsv.Event, len(lanes))
 	for i, ln := range lanes {
 		for _, ev := range ln.evs {
-			if ev.Type == obsv.EventPhaseEnd {
+			if ev.Type != obsv.EventPhaseEnd {
+				continue
+			}
+			if trafficPhase(ev.Phase) {
+				if perTraffic[i] == nil {
+					perTraffic[i] = map[int]obsv.Event{}
+				}
+				perTraffic[i][ev.Day] = ev
+			} else {
 				perLane[i] = append(perLane[i], ev)
 			}
 		}
 	}
+
+	// Correlated lanes: every scan phase_end, aligned positionally across
+	// shards (shards emit identical phase sequences; a divergence is
+	// itself a finding, so it is printed rather than fatal).
+	fmt.Fprintf(w, "\ntimeline (aligned on virtual day):\n")
+	fmt.Fprintf(w, "%-16s %-4s %-21s", "phase", "day", "virtual")
+	for i, ln := range lanes {
+		fmt.Fprintf(w, "  %-28s", ln.key)
+		if perTraffic[i] != nil {
+			fmt.Fprintf(w, "  %-28s", ln.key+":traffic")
+		}
+	}
+	fmt.Fprintln(w)
 	rows := 0
 	for _, l := range perLane {
 		if len(l) > rows {
@@ -230,23 +255,33 @@ func runTimeline(args []string) error {
 				break
 			}
 		}
-		fmt.Printf("%-16s %-4d %-21s", ref.Phase, ref.Day, ref.VirtualDate)
+		fmt.Fprintf(w, "%-16s %-4d %-21s", ref.Phase, ref.Day, ref.VirtualDate)
 		for i := range perLane {
 			if r >= len(perLane[i]) {
-				fmt.Printf("  %-28s", "-")
+				fmt.Fprintf(w, "  %-28s", "-")
+			} else {
+				ev := perLane[i][r]
+				cell := fmt.Sprintf("hs=%d fail=%d %s", ev.Handshakes, ev.Failures, fmtWall(ev.WallNanos))
+				if ev.Phase != ref.Phase || ev.Day != ref.Day {
+					cell = fmt.Sprintf("DIVERGED(%s/%d)", ev.Phase, ev.Day)
+				}
+				fmt.Fprintf(w, "  %-28s", cell)
+			}
+			if perTraffic[i] == nil {
 				continue
 			}
-			ev := perLane[i][r]
-			cell := fmt.Sprintf("hs=%d fail=%d %s", ev.Handshakes, ev.Failures, fmtWall(ev.WallNanos))
-			if ev.Phase != ref.Phase || ev.Day != ref.Day {
-				cell = fmt.Sprintf("DIVERGED(%s/%d)", ev.Phase, ev.Day)
+			// Traffic cells ride the scan "day" rows: the traffic plane
+			// runs inside each scan day on the same virtual date.
+			cell := "-"
+			if ev, ok := perTraffic[i][ref.Day]; ok && ref.Phase == "day" {
+				cell = fmt.Sprintf("vis=%d fail=%d %s", ev.Handshakes, ev.Failures, fmtWall(ev.WallNanos))
 			}
-			fmt.Printf("  %-28s", cell)
+			fmt.Fprintf(w, "  %-28s", cell)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 
-	// Top-K slowest phases across all shards.
+	// Top-K slowest phases across all shards (scan and traffic alike).
 	type slow struct {
 		lane string
 		ev   obsv.Event
@@ -254,6 +289,9 @@ func runTimeline(args []string) error {
 	var slows []slow
 	for i, ln := range lanes {
 		for _, ev := range perLane[i] {
+			slows = append(slows, slow{lane: ln.key, ev: ev})
+		}
+		for _, ev := range perTraffic[i] {
 			slows = append(slows, slow{lane: ln.key, ev: ev})
 		}
 	}
@@ -269,31 +307,39 @@ func runTimeline(args []string) error {
 	if *topK > len(slows) {
 		*topK = len(slows)
 	}
-	fmt.Printf("\ntop %d slowest phases:\n", *topK)
+	fmt.Fprintf(w, "\ntop %d slowest phases:\n", *topK)
 	for _, s := range slows[:*topK] {
-		fmt.Printf("  %10s  %-16s day %-3d %-11s  handshakes %-7d util %.2f\n",
+		fmt.Fprintf(w, "  %10s  %-16s day %-3d %-11s  handshakes %-7d util %.2f\n",
 			fmtWall(s.ev.WallNanos), s.ev.Phase, s.ev.Day, s.lane, s.ev.Handshakes, s.ev.Utilization)
 	}
 
-	// Error-class x day failure table, summed across shards.
+	// Error-class x day failure table, summed across shards (traffic
+	// failures are classified through the same faults taxonomy, so the
+	// traffic-day spans merge into the same table).
 	classSet := map[string]bool{}
 	byDay := map[int]map[string]uint64{}
 	var days []int
+	addClasses := func(ev obsv.Event) {
+		if len(ev.FailureClasses) == 0 {
+			return
+		}
+		m := byDay[ev.Day]
+		if m == nil {
+			m = map[string]uint64{}
+			byDay[ev.Day] = m
+			days = append(days, ev.Day)
+		}
+		for class, n := range ev.FailureClasses {
+			classSet[class] = true
+			m[class] += n
+		}
+	}
 	for i := range perLane {
 		for _, ev := range perLane[i] {
-			if len(ev.FailureClasses) == 0 {
-				continue
-			}
-			m := byDay[ev.Day]
-			if m == nil {
-				m = map[string]uint64{}
-				byDay[ev.Day] = m
-				days = append(days, ev.Day)
-			}
-			for class, n := range ev.FailureClasses {
-				classSet[class] = true
-				m[class] += n
-			}
+			addClasses(ev)
+		}
+		for _, ev := range perTraffic[i] {
+			addClasses(ev)
 		}
 	}
 	classes := make([]string, 0, len(classSet))
@@ -302,28 +348,28 @@ func runTimeline(args []string) error {
 	}
 	sort.Strings(classes)
 	sort.Ints(days)
-	fmt.Printf("\nfailures by error class and day (all shards):\n")
+	fmt.Fprintf(w, "\nfailures by error class and day (all shards):\n")
 	if len(classes) == 0 {
-		fmt.Println("  (no probe failures recorded)")
+		fmt.Fprintln(w, "  (no probe failures recorded)")
 		return nil
 	}
-	fmt.Printf("%-6s", "day")
+	fmt.Fprintf(w, "%-6s", "day")
 	for _, c := range classes {
-		fmt.Printf(" %10s", c)
+		fmt.Fprintf(w, " %10s", c)
 	}
-	fmt.Printf(" %10s\n", "total")
+	fmt.Fprintf(w, " %10s\n", "total")
 	for _, d := range days {
 		label := fmt.Sprintf("%d", d)
 		if d < 0 {
 			label = "pre"
 		}
-		fmt.Printf("%-6s", label)
+		fmt.Fprintf(w, "%-6s", label)
 		var total uint64
 		for _, c := range classes {
-			fmt.Printf(" %10d", byDay[d][c])
+			fmt.Fprintf(w, " %10d", byDay[d][c])
 			total += byDay[d][c]
 		}
-		fmt.Printf(" %10d\n", total)
+		fmt.Fprintf(w, " %10d\n", total)
 	}
 	return nil
 }

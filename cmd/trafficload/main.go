@@ -1,0 +1,101 @@
+// Command trafficload runs the simulated-user traffic plane standalone —
+// no scanner campaign around it — against a freshly built population, and
+// reports throughput plus the full traffic results JSON. It is the load
+// generator for sizing the traffic plane (sessions/s on this machine) and
+// a quick way to inspect the workload model's output without paying for a
+// campaign.
+//
+// Usage:
+//
+//	trafficload -listsize 1000 -users 500 -days 8 -out traffic.json
+//
+// The run is deterministic for a given (listsize, seed, users, days)
+// regardless of -workers; the wall-clock throughput line is the only
+// nondeterministic output.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"tlsshortcuts/internal/population"
+	"tlsshortcuts/internal/simclock"
+	"tlsshortcuts/internal/telemetry"
+	"tlsshortcuts/internal/traffic"
+)
+
+func main() {
+	var (
+		listSize = flag.Int("listsize", 1000, "scaled Top Million list size")
+		users    = flag.Int("users", 500, "simulated user population")
+		days     = flag.Int("days", 8, "virtual days of traffic")
+		seed     = flag.Int64("seed", 1, "world + workload seed")
+		workers  = flag.Int("workers", runtime.NumCPU(), "visit concurrency")
+		visits   = flag.Float64("visits", 0, "mean visits per user per day (0 = default 6)")
+		out      = flag.String("out", "", "write the traffic Results JSON to this path")
+		quiet    = flag.Bool("quiet", false, "suppress per-day progress")
+	)
+	flag.Parse()
+
+	if err := run(*listSize, *users, *days, *seed, *workers, *visits, *out, *quiet); err != nil {
+		log.Fatalf("trafficload: %v", err)
+	}
+}
+
+func run(listSize, users, days int, seed int64, workers int, visits float64, out string, quiet bool) error {
+	world, err := population.Build(population.Options{ListSize: listSize, Seed: seed})
+	if err != nil {
+		return fmt.Errorf("building population: %v", err)
+	}
+	clock, ok := world.Clock.(*simclock.Manual)
+	if !ok {
+		return fmt.Errorf("population clock is not manual")
+	}
+	eng, err := traffic.NewEngine(world, traffic.Options{
+		Users: users, Seed: seed, Workers: workers, MeanVisits: visits,
+	}, telemetry.NewRegistry())
+	if err != nil {
+		return fmt.Errorf("building traffic engine: %v", err)
+	}
+
+	start := clock.Now()
+	wall := time.Now()
+	var totalVisits, totalFails int
+	for day := 0; day < days; day++ {
+		clock.Set(start.Add(time.Duration(day) * 24 * time.Hour))
+		v, f := eng.RunDay(day)
+		totalVisits += v
+		totalFails += f
+		if !quiet {
+			log.Printf("day %d/%d: %d visits (%d failed)", day+1, days, v, f)
+		}
+	}
+	res := eng.Finalize()
+	elapsed := time.Since(wall)
+
+	fmt.Printf("trafficload: %d users x %d days: %d visits (%d failed) in %s — %.0f sessions/s\n",
+		users, days, totalVisits, totalFails, elapsed.Round(time.Millisecond),
+		float64(totalVisits)/elapsed.Seconds())
+	for i := range res.Policies {
+		p := &res.Policies[i]
+		fmt.Printf("  %-8s %4d users  %7d conns  %6d resumed  %6d chains\n",
+			p.Policy.Name, p.Users, p.Conns, p.Resumed, p.Chains)
+	}
+
+	if out != "" {
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing %s: %v", out, err)
+		}
+		fmt.Printf("trafficload: wrote %s\n", out)
+	}
+	return nil
+}

@@ -30,6 +30,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
@@ -84,6 +85,13 @@ type Progress struct {
 	// Utilization is mean per-worker busy fraction since the last
 	// sample, in [0,1].
 	Utilization float64 `json:"utilization"`
+
+	// Traffic-plane counters (zero and omitted unless the campaign runs
+	// simulated user traffic): cumulative visits, resumed sessions, and
+	// the instantaneous session rate since the last sample.
+	TrafficVisits  uint64  `json:"traffic_visits,omitempty"`
+	TrafficResumed uint64  `json:"traffic_resumed,omitempty"`
+	SessionsPerSec float64 `json:"sessions_per_sec,omitempty"`
 	// FailuresByClass maps faults.ErrClass -> cumulative failed probes.
 	FailuresByClass map[string]uint64 `json:"failures_by_class,omitempty"`
 
@@ -102,10 +110,15 @@ type Server struct {
 	mux *http.ServeMux
 	bc  *broadcaster
 
+	// now is the sampling clock, injectable so tests can force
+	// degenerate (zero wall-delta) sample pairs.
+	now func() time.Time
+
 	mu         sync.Mutex
 	prevTime   time.Time
 	prevHS     uint64
 	prevBusy   uint64
+	prevVisits uint64
 	started    bool
 	done       chan struct{}
 	samplerEnd sync.WaitGroup
@@ -116,7 +129,7 @@ func NewServer(cfg Config) *Server {
 	if cfg.Interval <= 0 {
 		cfg.Interval = time.Second
 	}
-	s := &Server{cfg: cfg, bc: newBroadcaster(), done: make(chan struct{})}
+	s := &Server{cfg: cfg, bc: newBroadcaster(), done: make(chan struct{}), now: time.Now}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/progress", s.handleProgress)
@@ -179,7 +192,7 @@ func (s *Server) Close() {
 // from the previous call's sample.
 func (s *Server) progress() Progress {
 	snap := s.cfg.Registry.Snapshot()
-	now := time.Now()
+	now := s.now()
 	p := Progress{
 		Day:             snap.Counters[telemetry.CounterDaysCompleted],
 		Days:            s.cfg.Days,
@@ -191,6 +204,8 @@ func (s *Server) progress() Progress {
 		Handshakes:      snap.Counters[telemetry.CounterHandshakesStarted],
 		Retries:         snap.Counters[telemetry.CounterRetries],
 		STEKRotations:   snap.Counters[telemetry.CounterSTEKRotations],
+		TrafficVisits:   snap.Counters[telemetry.CounterTrafficVisits],
+		TrafficResumed:  snap.Counters[telemetry.CounterTrafficResumed],
 		FailuresByClass: snap.PrefixCounters(telemetry.CounterErrorPrefix),
 	}
 	if p.Probes > 0 {
@@ -208,21 +223,49 @@ func (s *Server) progress() Progress {
 	busy := snap.Counters[telemetry.CounterBusyNanos]
 	s.mu.Lock()
 	if !s.prevTime.IsZero() {
+		// Zero wall delta (a clock step, a coarse timer, a test's frozen
+		// clock) and counter rollback (a registry swap) both occur in
+		// practice: rates stay 0 rather than dividing by zero or
+		// wrapping a uint64 subtraction.
 		dt := now.Sub(s.prevTime).Seconds()
 		if dt > 0 {
-			p.HandshakesPerSec = float64(p.Handshakes-s.prevHS) / dt
+			p.HandshakesPerSec = float64(counterDelta(p.Handshakes, s.prevHS)) / dt
+			p.SessionsPerSec = float64(counterDelta(p.TrafficVisits, s.prevVisits)) / dt
 			if s.cfg.Workers > 0 {
-				p.Utilization = float64(busy-s.prevBusy) / (dt * 1e9 * float64(s.cfg.Workers))
+				p.Utilization = float64(counterDelta(busy, s.prevBusy)) / (dt * 1e9 * float64(s.cfg.Workers))
 			}
 		}
 	}
-	s.prevTime, s.prevHS, s.prevBusy = now, p.Handshakes, busy
+	s.prevTime, s.prevHS, s.prevBusy, s.prevVisits = now, p.Handshakes, busy, p.TrafficVisits
 	s.mu.Unlock()
 	published, dropped, subs := s.bc.counts()
 	_ = published
 	p.SSESubscribers = subs
 	p.SSEDropped = dropped
+	// A non-finite float is not JSON-encodable: it would 500 /progress
+	// and silently drop SSE events. No rate may leave here NaN or Inf.
+	p.FailureRate = finite(p.FailureRate)
+	p.HandshakesPerSec = finite(p.HandshakesPerSec)
+	p.SessionsPerSec = finite(p.SessionsPerSec)
+	p.Utilization = finite(p.Utilization)
 	return p
+}
+
+// counterDelta returns cur-prev, clamping rollbacks to zero instead of
+// wrapping the unsigned subtraction into an enormous rate.
+func counterDelta(cur, prev uint64) uint64 {
+	if cur < prev {
+		return 0
+	}
+	return cur - prev
+}
+
+// finite maps NaN and ±Inf to 0.
+func finite(f float64) float64 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0
+	}
+	return f
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -104,6 +104,47 @@ func (w *World) TrustedCoreDomains() []string {
 	return names
 }
 
+// AllDomains returns every domain name in rank order — the site
+// popularity axis workload samplers (the traffic plane's per-user visit
+// model) draw from.
+func (w *World) AllDomains() []string {
+	out := make([]*Domain, 0, len(w.Domains))
+	for _, d := range w.Domains {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	names := make([]string, len(out))
+	for i, d := range out {
+		names[i] = d.Name
+	}
+	return names
+}
+
+// OperatorGroups returns operator -> rank-ordered domain names for every
+// operator serving more than one name: the cross-hostname pools (shared
+// session caches, shared STEKs) a stateful client can be linked across.
+func (w *World) OperatorGroups() map[string][]string {
+	groups := make(map[string][]*Domain)
+	for _, d := range w.Domains {
+		if d.Operator != "" {
+			groups[d.Operator] = append(groups[d.Operator], d)
+		}
+	}
+	out := make(map[string][]string)
+	for op, ds := range groups {
+		if len(ds) < 2 {
+			continue
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i].Rank < ds[j].Rank })
+		names := make([]string, len(ds))
+		for i, d := range ds {
+			names[i] = d.Name
+		}
+		out[op] = names
+	}
+	return out
+}
+
 // Shard returns the round-robin slice of a rank-ordered domain list
 // belonging to shard index of count: the domains at positions p with
 // p % count == index, in their original order. Every domain lands in

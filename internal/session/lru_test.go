@@ -1,0 +1,124 @@
+package session
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func lruState(n int) *State { return &State{Suite: uint16(n)} }
+
+// TestBoundedCacheEvictsLRUDeterministically pins the eviction order:
+// the entry with the oldest last-use virtual time goes first, and when
+// last-use times tie (the traffic plane's hour slots put many entries
+// at one instant) the oldest touch sequence breaks the tie — so a
+// deterministic operation sequence always evicts the same keys.
+func TestBoundedCacheEvictsLRUDeterministically(t *testing.T) {
+	c := NewBoundedCache(0, 3)
+	t0 := time.Unix(1000, 0)
+
+	// Same instant for all three: tie-break is insertion (touch) order.
+	c.Put([]byte("a"), lruState(1), t0)
+	c.Put([]byte("b"), lruState(2), t0)
+	c.Put([]byte("c"), lruState(3), t0)
+	c.Put([]byte("d"), lruState(4), t0) // evicts a (oldest seq)
+
+	if got := c.Get([]byte("a"), t0); got != nil {
+		t.Error("a should have been evicted (oldest touch at tied time)")
+	}
+	for _, k := range []string{"b", "c", "d"} {
+		if got := c.Get([]byte(k), t0); got == nil {
+			t.Errorf("%s should have survived", k)
+		}
+	}
+}
+
+// TestBoundedCacheGetRefreshesLRU pins that a Get hit counts as use:
+// touching the otherwise-oldest entry redirects eviction to the next
+// least-recently-used key.
+func TestBoundedCacheGetRefreshesLRU(t *testing.T) {
+	c := NewBoundedCache(0, 3)
+	t0 := time.Unix(1000, 0)
+	c.Put([]byte("a"), lruState(1), t0)
+	c.Put([]byte("b"), lruState(2), t0.Add(time.Second))
+	c.Put([]byte("c"), lruState(3), t0.Add(2*time.Second))
+
+	if c.Get([]byte("a"), t0.Add(3*time.Second)) == nil {
+		t.Fatal("a should be present")
+	}
+	c.Put([]byte("d"), lruState(4), t0.Add(4*time.Second)) // evicts b, not a
+
+	if c.Get([]byte("b"), t0.Add(5*time.Second)) != nil {
+		t.Error("b should have been evicted (least recently used after a's refresh)")
+	}
+	if c.Get([]byte("a"), t0.Add(5*time.Second)) == nil {
+		t.Error("a should have survived: the Get hit refreshed its LRU position")
+	}
+}
+
+// TestBoundedCacheEvictionIsDeterministicAcrossRuns replays one
+// operation sequence against two caches and checks the surviving key
+// sets match exactly — the property the traffic determinism contract
+// leans on.
+func TestBoundedCacheEvictionIsDeterministicAcrossRuns(t *testing.T) {
+	survivors := func() map[string]bool {
+		c := NewBoundedCache(0, 4)
+		t0 := time.Unix(2000, 0)
+		for i := 0; i < 32; i++ {
+			k := fmt.Sprintf("k%d", i%7)
+			c.Put([]byte(k), lruState(i), t0.Add(time.Duration(i/3)*time.Second))
+			if i%5 == 0 {
+				c.Get([]byte(fmt.Sprintf("k%d", (i+2)%7)), t0.Add(time.Duration(i/3)*time.Second))
+			}
+		}
+		out := map[string]bool{}
+		for i := 0; i < 7; i++ {
+			k := fmt.Sprintf("k%d", i)
+			if c.Get([]byte(k), t0.Add(time.Minute)) != nil {
+				out[k] = true
+			}
+		}
+		return out
+	}
+	a, b := survivors(), survivors()
+	if len(a) != len(b) {
+		t.Fatalf("different survivor counts: %v vs %v", a, b)
+	}
+	for k := range a {
+		if !b[k] {
+			t.Fatalf("survivor sets differ: %v vs %v", a, b)
+		}
+	}
+	if len(a) != 4 {
+		t.Fatalf("expected exactly capacity (4) survivors, got %v", a)
+	}
+}
+
+// TestBoundedCacheLenConsistentWithSweep checks capacity pressure
+// prefers dropping expired entries (the piggybacked sweep) before
+// evicting live ones, and Len agrees with the expiry sweep's view.
+func TestBoundedCacheLenConsistentWithSweep(t *testing.T) {
+	c := NewBoundedCache(10*time.Second, 3)
+	t0 := time.Unix(3000, 0)
+	c.Put([]byte("old1"), lruState(1), t0)
+	c.Put([]byte("old2"), lruState(2), t0)
+	late := t0.Add(time.Minute) // old1/old2 now expired
+	c.Put([]byte("n1"), lruState(3), late)
+	c.Put([]byte("n2"), lruState(4), late)
+	// Over capacity (4 > 3), but the sweep drops the two expired
+	// entries, so no live entry is LRU-evicted.
+	if got := c.Len(); got != 2 {
+		t.Fatalf("Len = %d after capacity sweep, want 2 (both live entries kept)", got)
+	}
+	for _, k := range []string{"n1", "n2"} {
+		if c.Get([]byte(k), late) == nil {
+			t.Errorf("live entry %s was evicted although expired entries covered the overflow", k)
+		}
+	}
+	if c.Get([]byte("old1"), late) != nil || c.Get([]byte("old2"), late) != nil {
+		t.Error("expired entries survived the capacity sweep")
+	}
+	if got := c.Len(); got != 2 {
+		t.Fatalf("Len = %d after gets, want 2", got)
+	}
+}

@@ -74,12 +74,22 @@ func UnmarshalInto(dst *State, b []byte) error {
 // accumulate for the campaign's whole lifetime. The sweep only removes
 // entries Get would already refuse to return, so it is observationally
 // inert.
+//
+// Capacity, when positive, bounds the cache to that many entries with
+// LRU eviction — the traffic plane's browser cache caps. "Least
+// recently used" orders by last-use virtual time (Put or Get hit), with
+// ties broken by touch order, so eviction is deterministic for a
+// deterministic operation sequence even when the virtual clock stands
+// still or rewinds. Campaign server caches leave Capacity zero
+// (unbounded), keeping the golden dataset untouched.
 type Cache struct {
 	Lifetime time.Duration
+	Capacity int
 
 	mu      sync.Mutex
 	entries map[string]entry
 	puts    int       // Put count, for sweep scheduling
+	seq     uint64    // touch sequence, for deterministic LRU ties
 	lastNow time.Time // most recent time passed to Put/Get
 }
 
@@ -91,11 +101,19 @@ const sweepEvery = 128
 type entry struct {
 	st      *State
 	created time.Time
+	used    time.Time // last Put/Get-hit virtual time (LRU ordering)
+	seq     uint64    // touch sequence (LRU tie-break)
 }
 
 // NewCache builds a cache with the given entry lifetime.
 func NewCache(lifetime time.Duration) *Cache {
 	return &Cache{Lifetime: lifetime, entries: make(map[string]entry)}
+}
+
+// NewBoundedCache builds a cache with a lifetime and an LRU capacity
+// bound — the shape a browser-policy client session store uses.
+func NewBoundedCache(lifetime time.Duration, capacity int) *Cache {
+	return &Cache{Lifetime: lifetime, Capacity: capacity, entries: make(map[string]entry)}
 }
 
 // Put stores state under id at time now.
@@ -105,17 +123,46 @@ func (c *Cache) Put(id []byte, st *State, now time.Time) {
 	if c.entries == nil {
 		c.entries = make(map[string]entry)
 	}
-	c.entries[string(id)] = entry{st: st, created: now}
+	c.seq++
+	c.entries[string(id)] = entry{st: st, created: now, used: now, seq: c.seq}
 	c.lastNow = now
 	c.puts++
 	telemetry.Global().Counter("session/cache_put").Inc()
 	if c.Lifetime > 0 && c.puts%sweepEvery == 0 {
 		c.sweepLocked(now)
 	}
+	if c.Capacity > 0 && len(c.entries) > c.Capacity {
+		// Expired entries go first — they are free to drop — then LRU.
+		if c.Lifetime > 0 {
+			c.sweepLocked(now)
+		}
+		for len(c.entries) > c.Capacity {
+			c.evictLRULocked()
+		}
+	}
+}
+
+// evictLRULocked removes the least-recently-used entry: oldest last-use
+// virtual time, ties broken by oldest touch sequence. Callers hold c.mu
+// and guarantee the map is non-empty.
+func (c *Cache) evictLRULocked() {
+	var victim string
+	var vUsed time.Time
+	var vSeq uint64
+	first := true
+	for k, e := range c.entries {
+		if first || e.used.Before(vUsed) || (e.used.Equal(vUsed) && e.seq < vSeq) {
+			victim, vUsed, vSeq = k, e.used, e.seq
+			first = false
+		}
+	}
+	delete(c.entries, victim)
+	telemetry.Global().Counter("session/cache_evicted").Inc()
 }
 
 // Get returns the live state for id at time now, or nil if absent or
-// expired (expired entries are evicted).
+// expired (expired entries are evicted). A hit refreshes the entry's
+// LRU position.
 func (c *Cache) Get(id []byte, now time.Time) *State {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -135,6 +182,9 @@ func (c *Cache) Get(id []byte, now time.Time) *State {
 		tel.Counter("wall/session/cache_expired_get").Inc()
 		return nil
 	}
+	c.seq++
+	e.used, e.seq = now, c.seq
+	c.entries[string(id)] = e
 	telemetry.Global().Counter("session/cache_hit").Inc()
 	return e.st
 }

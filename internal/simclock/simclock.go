@@ -47,6 +47,15 @@ func (m *Manual) Advance(d time.Duration) {
 	m.mu.Unlock()
 }
 
+// Fixed is a Clock pinned at one instant. Per-connection views of
+// virtual time (a traffic visit inside an hour slot, a probe waiting out
+// retry backoff) use one so concurrent connections never mutate the
+// shared lockstep clock.
+type Fixed time.Time
+
+// Now returns the pinned instant.
+func (f Fixed) Now() time.Time { return time.Time(f) }
+
 type system struct{}
 
 func (system) Now() time.Time { return time.Now() }

@@ -130,6 +130,10 @@ func (n *Net) DialProbe(domain, label string) (net.Conn, error) {
 // the campaign ran monolithic or sharded — and the sequence value at
 // that point differs between the two (a shard's domains receive
 // cross-domain probe connections only from the shard's own initiators).
+// The traffic plane dials exclusively through this path for the same
+// reason: its visits must not consume the per-domain dial sequence the
+// daily scans ride, or enabling traffic would change scanner-visible
+// backend choices (TestStableDialsDoNotPerturbDialSequence pins this).
 func (n *Net) DialProbeStable(domain, label string) (net.Conn, error) {
 	return n.dial(domain, label, true)
 }

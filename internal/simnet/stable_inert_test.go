@@ -1,0 +1,88 @@
+package simnet
+
+import (
+	"fmt"
+	"testing"
+
+	"tlsshortcuts/internal/telemetry"
+	"tlsshortcuts/internal/tlsserver"
+)
+
+func multiBackendNet() *Net {
+	n := New()
+	n.Register("multi.example", 1, []string{"10.9.0.1"},
+		&Endpoint{Config: &tlsserver.Config{}},
+		&Endpoint{Config: &tlsserver.Config{}},
+		&Endpoint{Config: &tlsserver.Config{}},
+		&Endpoint{Config: &tlsserver.Config{}},
+	)
+	return n
+}
+
+// backendCounts runs fn against a fresh net+registry and returns the
+// per-backend choice multiset.
+func backendCounts(t *testing.T, fn func(n *Net)) map[string]uint64 {
+	t.Helper()
+	n := multiBackendNet()
+	reg := telemetry.NewRegistry()
+	n.SetTelemetry(reg)
+	fn(n)
+	return reg.Snapshot().PrefixCounters("simnet/backend/")
+}
+
+// TestStableDialsDoNotPerturbDialSequence is the traffic plane's
+// isolation regression: DialProbeStable keys its balancer choice on
+// (domain, label) and must never consume the shared per-domain dial
+// sequence, so interleaving any number of stable dials (the traffic
+// plane's visits) between a scan's Dial calls leaves every Dial's
+// backend choice — and with it every scanner observation — unchanged.
+func TestStableDialsDoNotPerturbDialSequence(t *testing.T) {
+	const dials = 40
+	dialOnly := func(n *Net) {
+		for i := 0; i < dials; i++ {
+			c, err := n.Dial("multi.example")
+			if err != nil {
+				t.Fatalf("dial %d: %v", i, err)
+			}
+			c.Close()
+		}
+	}
+	stableOnly := func(n *Net) {
+		for i := 0; i < dials; i++ {
+			c, err := n.DialProbeStable("multi.example", fmt.Sprintf("tr|u%d|d0|s1|0", i))
+			if err != nil {
+				t.Fatalf("stable dial %d: %v", i, err)
+			}
+			c.Close()
+		}
+	}
+
+	base := backendCounts(t, dialOnly)
+	stable := backendCounts(t, stableOnly)
+	mixed := backendCounts(t, func(n *Net) {
+		// Interleave: stable traffic dial between every pair of scan dials.
+		for i := 0; i < dials; i++ {
+			c, err := n.Dial("multi.example")
+			if err != nil {
+				t.Fatalf("dial %d: %v", i, err)
+			}
+			c.Close()
+			c, err = n.DialProbeStable("multi.example", fmt.Sprintf("tr|u%d|d0|s1|0", i))
+			if err != nil {
+				t.Fatalf("stable dial %d: %v", i, err)
+			}
+			c.Close()
+		}
+	})
+
+	// Stable choices are pure functions of (domain, label), so the mixed
+	// run's multiset must be exactly base + stable: any difference means
+	// the stable path consumed the dial sequence (or vice versa).
+	for idx := 0; idx < 4; idx++ {
+		k := fmt.Sprintf("simnet/backend/%d", idx)
+		if got, want := mixed[k], base[k]+stable[k]; got != want {
+			t.Errorf("backend %d chosen %d times in mixed run, want %d (dial-only %d + stable-only %d)",
+				idx, got, want, base[k], stable[k])
+		}
+	}
+}

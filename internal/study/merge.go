@@ -8,6 +8,7 @@ import (
 	"tlsshortcuts/internal/cryptanalysis"
 	"tlsshortcuts/internal/faults"
 	"tlsshortcuts/internal/scanner"
+	"tlsshortcuts/internal/traffic"
 )
 
 // MergeDatasets recombines a complete set of shard datasets — one Run
@@ -170,6 +171,42 @@ func MergeDatasets(shards ...*Dataset) (*Dataset, error) {
 				return nil, fmt.Errorf("study: merge: %w", err)
 			}
 		}
+	}
+
+	// Traffic plane: per-policy tallies sum over the shards' disjoint
+	// user partitions (either every shard ran the plane or none did),
+	// then the window join is rebuilt against the merged campaign's
+	// windows — a shard's own join only saw its slice's windows.
+	tr, trMissing := 0, 0
+	for _, sd := range ordered {
+		if sd.Traffic != nil {
+			tr++
+		} else {
+			trMissing++
+		}
+	}
+	if tr > 0 && trMissing > 0 {
+		return nil, fmt.Errorf("study: merge: %d shard(s) missing traffic results while others carry them", trMissing)
+	}
+	if tr > 0 {
+		merged := &traffic.Results{}
+		*merged = *ordered[0].Traffic
+		merged.Policies = append([]traffic.PolicyStats(nil), ordered[0].Traffic.Policies...)
+		for i := range merged.Policies {
+			ps := &merged.Policies[i]
+			doms := ps.Domains
+			ps.Domains = make(map[string]traffic.DomainTally, len(doms))
+			for d, t := range doms {
+				ps.Domains[d] = t
+			}
+		}
+		for _, sd := range ordered[1:] {
+			if err := merged.Merge(sd.Traffic); err != nil {
+				return nil, fmt.Errorf("study: merge: %w", err)
+			}
+		}
+		out.Traffic = merged
+		joinTraffic(out)
 	}
 	return out, nil
 }

@@ -672,6 +672,10 @@ func (r *Report) String() string {
 	if r.DS.Crypt != nil {
 		sections = append(sections, r.Cryptanalysis)
 	}
+	// Likewise the traffic section exists only for traffic-plane runs.
+	if r.DS.Traffic != nil {
+		sections = append(sections, r.Traffic)
+	}
 	parts := make([]string, len(sections))
 	for i, f := range sections {
 		parts[i] = f()

@@ -1,0 +1,84 @@
+package study
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tlsshortcuts/internal/traffic"
+)
+
+// Traffic renders the traffic plane's measurements: the measured
+// in-window exposure (real connections and bytes joined against the §6
+// vulnerability windows) and the per-policy resumption tracking chains.
+// Only included in String() when the campaign ran the plane
+// (DS.Traffic non-nil).
+func (r *Report) Traffic() string {
+	tr := r.DS.Traffic
+	b := &strings.Builder{}
+	fmt.Fprintf(b, "Traffic: measured exposure of %d simulated users over %d day(s)\n",
+		tr.Users, tr.Days)
+
+	var conns, failed, full, resumed, viaTicket, viaID, cross, bytes uint64
+	for i := range tr.Policies {
+		p := &tr.Policies[i]
+		conns += p.Conns
+		failed += p.Failed
+		full += p.Full
+		resumed += p.Resumed
+		viaTicket += p.ResumedTicket
+		viaID += p.ResumedID
+		cross += p.CrossHostResumes
+		bytes += p.Bytes
+	}
+	fmt.Fprintf(b, "  connections: %d completed, %d failed; %s resumed (%d tickets, %d session IDs, %d cross-hostname)\n",
+		conns, failed, fracPct(resumed, conns), viaTicket, viaID, cross)
+	fmt.Fprintf(b, "  bytes: %d application bytes\n", bytes)
+
+	if j := tr.Join; j != nil {
+		b.WriteString("  in-window exposure (connections | bytes inside a domain's combined §6 window):\n")
+		fmt.Fprintf(b, "    any window: %s | %s\n",
+			fracPct(j.Connections.InWindow, j.Connections.Total), fracPct(j.Bytes.InWindow, j.Bytes.Total))
+		fmt.Fprintf(b, "    window >24h: %s | %s\n",
+			fracPct(j.Connections.Over24h, j.Connections.Total), fracPct(j.Bytes.Over24h, j.Bytes.Total))
+		fmt.Fprintf(b, "    window >7d:  %s | %s\n",
+			fracPct(j.Connections.Over7d, j.Connections.Total), fracPct(j.Bytes.Over7d, j.Bytes.Total))
+		fmt.Fprintf(b, "    window >30d: %s | %s\n",
+			fracPct(j.Connections.Over30d, j.Connections.Total), fracPct(j.Bytes.Over30d, j.Bytes.Total))
+		for _, pj := range j.PerPolicy {
+			fmt.Fprintf(b, "    %-8s any window: %s of connections, %s of bytes\n", pj.Policy,
+				fracPct(pj.Connections.InWindow, pj.Connections.Total), fracPct(pj.Bytes.InWindow, pj.Bytes.Total))
+		}
+	}
+
+	b.WriteString("  resumption tracking chains per browser policy:\n")
+	for i := range tr.Policies {
+		p := &tr.Policies[i]
+		fmt.Fprintf(b, "    %-8s %d users, lifetime %s, cache cap %d: %d chains (%s cross-hostname), longest %d links\n",
+			p.Policy.Name, p.Users, p.Policy.Lifetime, p.Policy.CacheCap,
+			p.Chains, fracPct(p.CrossChains, p.Chains), p.MaxChainLen)
+		fmt.Fprintf(b, "      length   %s\n", histRow(traffic.ChainLenBuckets[:], p.ChainLen[:]))
+		fmt.Fprintf(b, "      tracked  %s\n", histRow(traffic.ChainDurBuckets[:], p.ChainDur[:]))
+		if p.Chains > 0 {
+			mean := time.Duration(p.UnlinkSeconds/p.Chains) * time.Second
+			max := time.Duration(p.MaxUnlinkSeconds) * time.Second
+			fmt.Fprintf(b, "      time-to-unlinkability: mean %s, max %s\n", mean, max)
+		}
+	}
+	return b.String()
+}
+
+func fracPct(n, total uint64) string {
+	if total == 0 {
+		return "0.0%"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(n)/float64(total))
+}
+
+func histRow(labels []string, counts []uint64) string {
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = fmt.Sprintf("%s:%d", l, counts[i])
+	}
+	return strings.Join(parts, " ")
+}

@@ -23,6 +23,8 @@ import (
 	"tlsshortcuts/internal/scanner"
 	"tlsshortcuts/internal/simclock"
 	"tlsshortcuts/internal/telemetry"
+	"tlsshortcuts/internal/traffic"
+	"tlsshortcuts/internal/vulnwindow"
 	"tlsshortcuts/internal/wire"
 )
 
@@ -83,6 +85,17 @@ type Options struct {
 	// are scanned. MergeDatasets recombines the shards' outputs into a
 	// dataset byte-identical to the monolithic campaign's.
 	Shard *ShardSpec
+
+	// Traffic, when non-nil with positive Users, runs the browser-
+	// realistic traffic plane alongside the campaign: stateful simulated
+	// users driving real connections at the same population on the same
+	// virtual clock, with results landing in Dataset.Traffic (including
+	// the measured-exposure join against the campaign's §6 vulnerability
+	// windows). The plane's Seed and Workers default to the campaign's,
+	// and its user partition follows the campaign's Shard. Traffic is
+	// observationally inert for the scanner: with it on, every other
+	// dataset field is byte-identical to the traffic-off run.
+	Traffic *traffic.Options
 
 	// WeakCrypto appends the calibrated vulnerable operator profiles to
 	// the population (see population.Options.WeakCrypto) and runs the
@@ -205,6 +218,13 @@ type Dataset struct {
 	// ones (the golden hash proves it).
 	Crypt *cryptanalysis.Findings `json:",omitempty"`
 
+	// Traffic holds the traffic plane's measurements (per-policy
+	// connection, chain, and per-domain volume tallies, plus the window
+	// join). Nil unless the campaign ran with Traffic, so traffic-off
+	// datasets serialize byte-identically to pre-traffic ones (the
+	// golden hash proves it).
+	Traffic *traffic.Results `json:",omitempty"`
+
 	// Shard identifies which slice of the campaign this dataset covers;
 	// nil for a monolithic run. MergeDatasets clears it, so a merged
 	// dataset serializes byte-identically to the monolithic one.
@@ -249,8 +269,9 @@ func Run(o Options) (*Dataset, error) {
 	// without a registry still needs one for span and delta accounting —
 	// a private one, installed globally all the same so the deep-layer
 	// counters (STEK rotations above all) reach the flight recorder.
+	trafficOn := o.Traffic != nil && o.Traffic.Users > 0
 	reg := o.Telemetry
-	if reg == nil && (o.Trace != nil || o.Observer != nil) {
+	if reg == nil && (o.Trace != nil || o.Observer != nil || trafficOn) {
 		reg = telemetry.NewRegistry()
 	}
 	if reg != nil {
@@ -273,6 +294,25 @@ func Run(o Options) (*Dataset, error) {
 		world.Net.SetTelemetry(reg)
 	}
 	sp := newSpanner(o, reg, clock)
+
+	var eng *traffic.Engine
+	if trafficOn {
+		topts := *o.Traffic
+		if topts.Seed == 0 {
+			topts.Seed = o.Seed
+		}
+		if topts.Workers == 0 {
+			topts.Workers = o.Workers
+		}
+		if o.Shard != nil {
+			topts.ShardIndex, topts.ShardCount = o.Shard.Index, o.Shard.Count
+		}
+		eng, err = traffic.NewEngine(world, topts, reg)
+		if err != nil {
+			return nil, err
+		}
+		o.logf("traffic plane: %d users, mean %.1f visits/day", topts.Users, topts.MeanVisits)
+	}
 
 	core := world.TrustedCoreDomains()
 	all := allByRank(world)
@@ -388,6 +428,20 @@ func Run(o Options) (*Dataset, error) {
 			return nil, err
 		}
 		o.logf("day %d/%d scanned", day+1, o.Days)
+		if eng != nil {
+			// The traffic day runs after the scan day at the same virtual
+			// day start; RunDay walks the clock through the day's hour
+			// slots and restores the day-start instant before returning,
+			// so the next phase sees the same clock as a traffic-off run.
+			if err := sp.begin("traffic-day", day, 0); err != nil {
+				return nil, err
+			}
+			tv, tf := eng.RunDay(day)
+			if err := sp.end("traffic-day", day, tv, tf, 0); err != nil {
+				return nil, err
+			}
+			o.logf("day %d/%d traffic: %d visits, %d failed", day+1, o.Days, tv, tf)
+		}
 	}
 	agg.finish()
 
@@ -434,8 +488,29 @@ func Run(o Options) (*Dataset, error) {
 		o.logf("cryptanalysis: %d/%d captured conversations decrypted (%d domains, %d bytes)",
 			ds.Crypt.Yield.Connections, ds.Crypt.Yield.Attempted, ds.Crypt.Yield.Domains, ds.Crypt.Yield.Bytes)
 	}
+	if eng != nil {
+		ds.Traffic = eng.Finalize()
+		joinTraffic(ds)
+		j := ds.Traffic.Join
+		o.logf("traffic: %d connections, %d (%.1f%%) inside a vulnerability window",
+			j.Connections.Total, j.Connections.InWindow, 100*j.Connections.Frac(j.Connections.InWindow))
+	}
 	ds.Dials = world.Net.DialCount()
 	return ds, nil
+}
+
+// joinTraffic (re)computes the traffic plane's measured-exposure join
+// against the dataset's own §6 vulnerability windows. Run after a
+// campaign and again after a shard merge: a shard's join reflects only
+// the windows its slice observed, so the merged join must be rebuilt
+// from the merged windows (joining is pure, so the result equals the
+// monolithic run's).
+func joinTraffic(ds *Dataset) {
+	if ds.Traffic == nil {
+		return
+	}
+	r := BuildReport(ds)
+	traffic.ComputeJoin(ds.Traffic, vulnwindow.Combine(r.Exposures))
 }
 
 // spanner emits one telemetry.Span JSONL line per scan phase, deriving

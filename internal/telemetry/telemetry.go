@@ -62,6 +62,24 @@ const (
 	// CounterSTEKRotations counts observed ticket-key rotations (exactly
 	// one per epoch transition per manager, whatever the interleaving).
 	CounterSTEKRotations = "ticket/stek_rotations"
+
+	// Traffic-plane counters: simulated-user visits driven by
+	// internal/traffic. All are deterministic sums over per-user
+	// sequential histories, so they survive Snapshot.Deterministic().
+
+	// CounterTrafficVisits counts completed-or-failed user visits.
+	CounterTrafficVisits = "traffic/visits"
+	// CounterTrafficResumed counts visits that resumed a prior session
+	// (by ID or ticket).
+	CounterTrafficResumed = "traffic/resumed"
+	// CounterTrafficFailures counts visits whose connection failed.
+	CounterTrafficFailures = "traffic/failures"
+	// CounterTrafficBytes accumulates application bytes exchanged by
+	// user visits (request plus response).
+	CounterTrafficBytes = "traffic/bytes"
+	// CounterTrafficCrossHost counts resumptions accepted under a
+	// different hostname of the same operator cache group.
+	CounterTrafficCrossHost = "traffic/cross_host"
 )
 
 // Shared counter-name prefixes: instrumentation sites append a dynamic
@@ -76,6 +94,13 @@ const (
 	CounterRetryClassPrefix = "scanner/retries/"
 	// CounterFaultPrefix + faults.Kind counts injected network faults.
 	CounterFaultPrefix = "simnet/faults/"
+	// CounterTrafficPolicyPrefix + policy name counts user visits under
+	// that browser policy; the same prefix with "/resumed" appended to
+	// the policy counts its resumptions.
+	CounterTrafficPolicyPrefix = "traffic/policy/"
+	// HistTrafficChainPrefix + policy name is the per-policy histogram
+	// of resumption tracking-chain durations in virtual time.
+	HistTrafficChainPrefix = "traffic/chain_vtime/"
 )
 
 // Counter is a monotonically increasing atomic counter. A nil Counter

@@ -58,6 +58,11 @@ type Session struct {
 	Suite  uint16
 	Master [48]byte
 
+	// CreatedAt is the connection's virtual time when the handshake
+	// completed. Client session stores (the traffic plane's per-user
+	// browser caches) age sessions against it; the scanner ignores it.
+	CreatedAt time.Time
+
 	idbuf  [32]byte
 	tktbuf [160]byte
 }
@@ -540,7 +545,7 @@ func finishFull(hc *hsConn, cfg *Config, cap *Capture, ch *wire.ClientHello, sh 
 		return errors.New("tls: bad server Finished")
 	}
 
-	sess := &Session{Suite: sh.Suite}
+	sess := &Session{Suite: sh.Suite, CreatedAt: cfg.now()}
 	sess.setID(sh.SessionID)
 	sess.setTicket(cap.Ticket)
 	copy(sess.Master[:], master)
@@ -599,7 +604,7 @@ func finishResumed(hc *hsConn, cfg *Config, cap *Capture, ch *wire.ClientHello, 
 		return err
 	}
 
-	sess := &Session{Suite: sh.Suite}
+	sess := &Session{Suite: sh.Suite, CreatedAt: cfg.now()}
 	sess.setID(sh.SessionID)
 	sess.setTicket(cap.Ticket)
 	if len(sess.Ticket) == 0 {

@@ -1,0 +1,147 @@
+package traffic
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"tlsshortcuts/internal/drbg"
+)
+
+// The workload model. Every draw is a pure function of (traffic seed,
+// user id[, day]), made through dedicated DRBG streams:
+//
+//	(seed, "u|<id>",    "profile")  — policy, activity, favorites
+//	(seed, "u|<id>",    "day|<d>")  — that day's visit schedule
+//
+// so a user's behaviour is identical no matter which worker or shard
+// executes it, and schedules can be redrawn cheaply instead of stored.
+
+// profile is a user's sampled identity: which browser policy they run,
+// how active they are, and their favorite sites.
+type profile struct {
+	policy   int     // index into the policy table
+	activity float64 // visits/day multiplier, log-uniform in [1/4, 4)
+	favs     []int32 // favorite domain indices (rank order positions)
+}
+
+// favoriteBias is the probability a visit goes to one of the user's
+// favorites rather than a fresh popularity-sampled site. Revisit-heavy
+// behaviour is what builds resumption chains.
+const favoriteBias = 0.7
+
+// rndU64 draws a uniform uint64 from the stream.
+func rndU64(r *drbg.Reader) uint64 {
+	var b [8]byte
+	if _, err := r.Read(b[:]); err != nil {
+		panic("traffic: drbg read: " + err.Error())
+	}
+	return binary.BigEndian.Uint64(b[:])
+}
+
+// rndFloat draws a uniform float64 in [0, 1).
+func rndFloat(r *drbg.Reader) float64 {
+	return float64(rndU64(r)>>11) / (1 << 53)
+}
+
+// rndInt draws a uniform int in [0, n).
+func rndInt(r *drbg.Reader, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(rndU64(r) % uint64(n))
+}
+
+// zipfIdx samples a site index in [0, n) with density roughly 1/(x+1)
+// — the heavy-headed popularity curve of real browsing: rank-0 sites
+// soak up most visits while the tail still gets occasional traffic.
+func zipfIdx(r *drbg.Reader, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	idx := int(math.Exp(rndFloat(r)*math.Log(float64(n)+1))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+// userProfile draws user u's profile. policies weights are normalized
+// over the table; totalWeight is their precomputed sum.
+func (e *Engine) userProfile(u int) profile {
+	r := drbg.NewParts(e.seed, fmt.Sprintf("u|%d", u), "profile")
+	var p profile
+
+	// Policy: inverse-CDF over normalized weights.
+	f := rndFloat(r) * e.totalWeight
+	p.policy = len(e.policies) - 1
+	for i := range e.policies {
+		if f < e.policies[i].Weight {
+			p.policy = i
+			break
+		}
+		f -= e.policies[i].Weight
+	}
+
+	// Activity: log-uniform over [1/4, 4) — a few heavy users dominate
+	// visit volume, which is what makes small cache caps actually evict.
+	p.activity = math.Exp((rndFloat(r)*2 - 1) * math.Log(4))
+
+	// Favorites: 4–11 sites, popularity-sampled (dedup keeps them
+	// distinct; a favorite list hits the same hostnames daily, building
+	// the long chains).
+	n := 4 + rndInt(r, 8)
+	seen := make(map[int32]bool, n)
+	for len(p.favs) < n {
+		d := int32(zipfIdx(r, len(e.domains)))
+		if seen[d] {
+			// Collisions redraw; the stream advances either way, so the
+			// result is still a pure function of (seed, user).
+			d = int32(rndInt(r, len(e.domains)))
+		}
+		if !seen[d] {
+			seen[d] = true
+			p.favs = append(p.favs, d)
+		}
+	}
+	return p
+}
+
+// visit is one scheduled connection: hour slot, destination site, and
+// whether the user would offer a same-operator sibling session when
+// holding none for the destination.
+type visit struct {
+	slot  int8
+	cross bool
+	dom   int32
+}
+
+// daySchedule draws user u's visits for one campaign day, appended to
+// buf, sorted by hour slot (stable: draw order preserved within a
+// slot). The draw is stateless per (user, day) so any shard or worker
+// reproduces it exactly.
+func (e *Engine) daySchedule(u int, p *profile, day int, buf []visit) []visit {
+	r := drbg.NewParts(e.seed, fmt.Sprintf("u|%d", u), fmt.Sprintf("day|%d", day))
+	mean := e.opts.meanVisits() * p.activity
+	// Uniform on [0, 2*mean] keeps the configured mean while giving
+	// zero-visit days a real probability.
+	n := rndInt(r, int(2*mean)+1)
+	start := len(buf)
+	for i := 0; i < n; i++ {
+		v := visit{slot: int8(rndInt(r, 24))}
+		if rndFloat(r) < favoriteBias && len(p.favs) > 0 {
+			v.dom = p.favs[rndInt(r, len(p.favs))]
+		} else {
+			v.dom = int32(zipfIdx(r, len(e.domains)))
+		}
+		v.cross = rndFloat(r) < e.opts.crossHost()
+		buf = append(buf, v)
+	}
+	sched := buf[start:]
+	sort.SliceStable(sched, func(i, j int) bool { return sched[i].slot < sched[j].slot })
+	return buf
+}

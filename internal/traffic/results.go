@@ -1,0 +1,289 @@
+package traffic
+
+import (
+	"fmt"
+	"time"
+)
+
+// DomainTally is the per-domain traffic volume a policy's users put on
+// the wire: completed connections and application bytes (request +
+// response). It is the raw, mergeable unit the window join is computed
+// from.
+type DomainTally struct {
+	Conns uint64
+	Bytes uint64
+}
+
+// ChainLenBuckets labels the chain-length histogram cells of
+// PolicyStats.ChainLen: how many connections one unbroken resumption
+// lineage linked.
+var ChainLenBuckets = [7]string{"1", "2", "3", "4", "5-8", "9-16", "17+"}
+
+// ChainDurBuckets labels the tracking-duration histogram cells of
+// PolicyStats.ChainDur (first to last linked connection, virtual time).
+var ChainDurBuckets = [6]string{"<1h", "1-6h", "6-24h", "1-3d", "3-7d", ">=7d"}
+
+func chainLenBucket(n uint64) int {
+	switch {
+	case n <= 4:
+		return int(n) - 1
+	case n <= 8:
+		return 4
+	case n <= 16:
+		return 5
+	default:
+		return 6
+	}
+}
+
+func chainDurBucket(d time.Duration) int {
+	day := 24 * time.Hour
+	switch {
+	case d < time.Hour:
+		return 0
+	case d < 6*time.Hour:
+		return 1
+	case d < day:
+		return 2
+	case d < 3*day:
+		return 3
+	case d < 7*day:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// PolicyStats aggregates everything the traffic plane measured for the
+// users of one browser policy. All fields are sums or maxes over
+// per-user sequential histories, so stats from disjoint user sets
+// (workers, shards) merge by addition / max into exactly the monolithic
+// result.
+type PolicyStats struct {
+	Policy Policy
+	// Users is how many users of this shard drew the policy.
+	Users int
+
+	// Conns counts completed connections; Failed counts dial/handshake
+	// failures (a failed visit leaves the user's session state alone).
+	Conns  uint64
+	Failed uint64
+	// Bytes is application payload carried over completed connections.
+	Bytes uint64
+
+	// Full/Resumed split completed connections by handshake kind;
+	// Resumed splits further by mechanism.
+	Full          uint64
+	Resumed       uint64
+	ResumedTicket uint64
+	ResumedID     uint64
+	// CrossHostResumes counts resumptions where the offered session was
+	// stored for a different hostname of the same operator and the
+	// server accepted it — a cross-domain link event.
+	CrossHostResumes uint64
+	// Dropped counts stored sessions found dead on re-touch (expired by
+	// policy lifetime or ticket hint, or LRU-evicted by the cache cap).
+	Dropped uint64
+
+	// Chains counts closed tracking chains. Every completed connection
+	// belongs to exactly one chain (an unresumed visit is a chain of
+	// length 1), so the ChainLen histogram masses sum to Conns.
+	Chains uint64
+	// CrossChains counts chains that spanned more than one hostname.
+	CrossChains uint64
+	ChainLen    [7]uint64
+	ChainDur    [6]uint64
+	// TrackSeconds sums each chain's tracked span (last minus first
+	// linked connection); UnlinkSeconds adds the final session's
+	// effective lifetime — the time-to-unlinkability of Sy et al.
+	TrackSeconds  uint64
+	UnlinkSeconds uint64
+	MaxChainLen   uint64
+	// MaxUnlinkSeconds is the longest single time-to-unlinkability.
+	MaxUnlinkSeconds uint64
+
+	// Domains is the per-domain connection/byte tally the vulnerability
+	// window join consumes.
+	Domains map[string]DomainTally
+}
+
+// add folds b's tallies into a (Policy and Users are the caller's
+// concern). Addition/max only, so any grouping of disjoint user sets
+// folds to the same totals.
+func (a *PolicyStats) add(b *PolicyStats) {
+	a.Conns += b.Conns
+	a.Failed += b.Failed
+	a.Bytes += b.Bytes
+	a.Full += b.Full
+	a.Resumed += b.Resumed
+	a.ResumedTicket += b.ResumedTicket
+	a.ResumedID += b.ResumedID
+	a.CrossHostResumes += b.CrossHostResumes
+	a.Dropped += b.Dropped
+	a.Chains += b.Chains
+	a.CrossChains += b.CrossChains
+	for j := range a.ChainLen {
+		a.ChainLen[j] += b.ChainLen[j]
+	}
+	for j := range a.ChainDur {
+		a.ChainDur[j] += b.ChainDur[j]
+	}
+	a.TrackSeconds += b.TrackSeconds
+	a.UnlinkSeconds += b.UnlinkSeconds
+	if b.MaxChainLen > a.MaxChainLen {
+		a.MaxChainLen = b.MaxChainLen
+	}
+	if b.MaxUnlinkSeconds > a.MaxUnlinkSeconds {
+		a.MaxUnlinkSeconds = b.MaxUnlinkSeconds
+	}
+	if len(b.Domains) > 0 && a.Domains == nil {
+		a.Domains = make(map[string]DomainTally, len(b.Domains))
+	}
+	for d, t := range b.Domains {
+		at := a.Domains[d]
+		at.Conns += t.Conns
+		at.Bytes += t.Bytes
+		a.Domains[d] = at
+	}
+}
+
+// Buckets classifies a traffic volume (connections or bytes) against
+// the per-domain combined vulnerability windows: how much landed at a
+// domain with any window at all, and at domains whose window exceeds
+// the paper's headline thresholds.
+type Buckets struct {
+	Total    uint64
+	InWindow uint64
+	Over24h  uint64
+	Over7d   uint64
+	Over30d  uint64
+}
+
+func (b *Buckets) add(n uint64, w time.Duration) {
+	b.Total += n
+	if w <= 0 {
+		return
+	}
+	b.InWindow += n
+	// Same strict cut points vulnwindow.Classification buckets by.
+	if w > 24*time.Hour {
+		b.Over24h += n
+	}
+	if w > 7*24*time.Hour {
+		b.Over7d += n
+	}
+	if w > 30*24*time.Hour {
+		b.Over30d += n
+	}
+}
+
+// Frac returns n as a fraction of Total (0 when Total is 0).
+func (b Buckets) Frac(n uint64) float64 {
+	if b.Total == 0 {
+		return 0
+	}
+	return float64(n) / float64(b.Total)
+}
+
+// PolicyJoin is one policy's share of the window join.
+type PolicyJoin struct {
+	Policy      string
+	Connections Buckets
+	Bytes       Buckets
+}
+
+// Join is the measured-exposure join: real traffic-plane connections
+// and bytes classified against the per-domain combined vulnerability
+// windows of the same campaign (§6's windows applied to measured rather
+// than hypothetical traffic). It is recomputed from the raw Domains
+// tallies wherever windows are known — per shard, and again after a
+// shard merge against the merged windows — never merged directly.
+type Join struct {
+	Connections Buckets
+	Bytes       Buckets
+	PerPolicy   []PolicyJoin
+}
+
+// Results is the traffic plane's dataset contribution.
+type Results struct {
+	// Users/Days/Seed/MeanVisits/CrossHost echo the workload config so
+	// shard merges can verify the shards ran the same workload.
+	Users      int
+	Days       int
+	Seed       int64
+	MeanVisits float64
+	CrossHost  float64
+
+	// Policies carries per-policy stats in policy-table order.
+	Policies []PolicyStats
+
+	// Join is filled in by ComputeJoin once vulnerability windows are
+	// known; it is derived state, not merged.
+	Join *Join `json:",omitempty"`
+}
+
+// Conns returns total completed connections across policies.
+func (r *Results) Conns() uint64 {
+	var n uint64
+	for i := range r.Policies {
+		n += r.Policies[i].Conns
+	}
+	return n
+}
+
+// Merge folds other (a disjoint user shard of the same workload) into
+// r. Join is cleared: it must be recomputed against the merged
+// campaign's windows.
+func (r *Results) Merge(other *Results) error {
+	if r.Users != other.Users || r.Days != other.Days || r.Seed != other.Seed ||
+		r.MeanVisits != other.MeanVisits || r.CrossHost != other.CrossHost {
+		return fmt.Errorf("traffic: merging shards with different workload configs")
+	}
+	if len(r.Policies) != len(other.Policies) {
+		return fmt.Errorf("traffic: merging shards with different policy tables")
+	}
+	for i := range r.Policies {
+		a, b := &r.Policies[i], &other.Policies[i]
+		if a.Policy != b.Policy {
+			return fmt.Errorf("traffic: policy table mismatch at %d: %q vs %q",
+				i, a.Policy.Name, b.Policy.Name)
+		}
+		a.Users += b.Users
+		a.add(b)
+	}
+	r.Join = nil
+	return nil
+}
+
+// ComputeJoin classifies the measured per-domain traffic against the
+// per-domain combined vulnerability windows (vulnwindow.Combine output)
+// and stores the join on r. Joining is a pure function of the raw
+// tallies and the window map, so a merged dataset's join equals the
+// monolithic one.
+func ComputeJoin(r *Results, windows map[string]time.Duration) {
+	if r == nil {
+		return
+	}
+	j := &Join{PerPolicy: make([]PolicyJoin, 0, len(r.Policies))}
+	for i := range r.Policies {
+		ps := &r.Policies[i]
+		pj := PolicyJoin{Policy: ps.Policy.Name}
+		for d, t := range ps.Domains {
+			w := windows[d]
+			pj.Connections.add(t.Conns, w)
+			pj.Bytes.add(t.Bytes, w)
+		}
+		j.Connections.Total += pj.Connections.Total
+		j.Connections.InWindow += pj.Connections.InWindow
+		j.Connections.Over24h += pj.Connections.Over24h
+		j.Connections.Over7d += pj.Connections.Over7d
+		j.Connections.Over30d += pj.Connections.Over30d
+		j.Bytes.Total += pj.Bytes.Total
+		j.Bytes.InWindow += pj.Bytes.InWindow
+		j.Bytes.Over24h += pj.Bytes.Over24h
+		j.Bytes.Over7d += pj.Bytes.Over7d
+		j.Bytes.Over30d += pj.Bytes.Over30d
+		j.PerPolicy = append(j.PerPolicy, pj)
+	}
+	r.Join = j
+}

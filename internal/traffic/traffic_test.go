@@ -1,0 +1,195 @@
+package traffic
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"tlsshortcuts/internal/population"
+	"tlsshortcuts/internal/simclock"
+	"tlsshortcuts/internal/telemetry"
+)
+
+func TestChainBuckets(t *testing.T) {
+	lens := map[uint64]int{1: 0, 2: 1, 3: 2, 4: 3, 5: 4, 8: 4, 9: 5, 16: 5, 17: 6, 100: 6}
+	for n, want := range lens {
+		if got := chainLenBucket(n); got != want {
+			t.Errorf("chainLenBucket(%d) = %d, want %d", n, got, want)
+		}
+	}
+	durs := map[time.Duration]int{
+		0:                   0,
+		59 * time.Minute:    0,
+		time.Hour:           1,
+		5 * time.Hour:       1,
+		6 * time.Hour:       2,
+		23 * time.Hour:      2,
+		24 * time.Hour:      3,
+		71 * time.Hour:      3,
+		72 * time.Hour:      4,
+		167 * time.Hour:     4,
+		7 * 24 * time.Hour:  5,
+		30 * 24 * time.Hour: 5,
+	}
+	for d, want := range durs {
+		if got := chainDurBucket(d); got != want {
+			t.Errorf("chainDurBucket(%s) = %d, want %d", d, got, want)
+		}
+	}
+}
+
+func TestBucketsAddClassifies(t *testing.T) {
+	var b Buckets
+	b.add(10, 0)              // no window
+	b.add(5, 12*time.Hour)    // in window, under every threshold
+	b.add(3, 48*time.Hour)    // > 24h
+	b.add(2, 10*24*time.Hour) // > 7d
+	b.add(1, 40*24*time.Hour) // > 30d
+	want := Buckets{Total: 21, InWindow: 11, Over24h: 6, Over7d: 3, Over30d: 1}
+	if b != want {
+		t.Fatalf("Buckets = %+v, want %+v", b, want)
+	}
+	if f := b.Frac(b.InWindow); f < 0.52 || f > 0.53 {
+		t.Errorf("Frac(InWindow) = %v, want ~11/21", f)
+	}
+	if (Buckets{}).Frac(5) != 0 {
+		t.Error("Frac on empty Buckets must be 0")
+	}
+}
+
+func TestMergeRejectsMismatchedConfigs(t *testing.T) {
+	mk := func() *Results {
+		return &Results{
+			Users: 10, Days: 2, Seed: 7, MeanVisits: 6, CrossHost: 0.25,
+			Policies: []PolicyStats{{Policy: Policy{Name: "chrome", Lifetime: time.Hour, CacheCap: 8, Weight: 1}}},
+		}
+	}
+	a, b := mk(), mk()
+	b.Seed = 8
+	if err := a.Merge(b); err == nil {
+		t.Error("merge across seeds must fail")
+	}
+	a, b = mk(), mk()
+	b.Policies[0].Policy.Lifetime = 2 * time.Hour
+	if err := a.Merge(b); err == nil {
+		t.Error("merge across policy tables must fail")
+	}
+	a, b = mk(), mk()
+	if err := a.Merge(b); err != nil {
+		t.Errorf("merge of identical configs failed: %v", err)
+	}
+}
+
+func TestComputeJoinMatchesManualClassification(t *testing.T) {
+	r := &Results{Policies: []PolicyStats{{
+		Policy: Policy{Name: "chrome"},
+		Domains: map[string]DomainTally{
+			"a.example": {Conns: 4, Bytes: 400}, // no window
+			"b.example": {Conns: 3, Bytes: 300}, // 12h window
+			"c.example": {Conns: 2, Bytes: 200}, // 8d window
+		},
+	}}}
+	ComputeJoin(r, map[string]time.Duration{
+		"b.example": 12 * time.Hour,
+		"c.example": 8 * 24 * time.Hour,
+	})
+	j := r.Join
+	if j == nil || len(j.PerPolicy) != 1 {
+		t.Fatalf("join missing: %+v", j)
+	}
+	wantC := Buckets{Total: 9, InWindow: 5, Over24h: 2, Over7d: 2}
+	wantB := Buckets{Total: 900, InWindow: 500, Over24h: 200, Over7d: 200}
+	if j.Connections != wantC {
+		t.Errorf("Connections = %+v, want %+v", j.Connections, wantC)
+	}
+	if j.Bytes != wantB {
+		t.Errorf("Bytes = %+v, want %+v", j.Bytes, wantB)
+	}
+}
+
+func buildWorld(t *testing.T) *population.World {
+	t.Helper()
+	w, err := population.Build(population.Options{ListSize: 60, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestProfileAndScheduleAreStateless pins the workload model's purity:
+// redrawing a user's profile and day schedule — on a different engine
+// instance with different worker counts — reproduces them exactly.
+func TestProfileAndScheduleAreStateless(t *testing.T) {
+	mk := func(workers int) *Engine {
+		e, err := NewEngine(buildWorld(t), Options{Users: 20, Seed: 3, Workers: workers}, telemetry.NewRegistry())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	a, b := mk(2), mk(9)
+	for u := 0; u < 20; u++ {
+		pa, pb := a.userProfile(u), b.userProfile(u)
+		if pa.policy != pb.policy || pa.activity != pb.activity || !reflect.DeepEqual(pa.favs, pb.favs) {
+			t.Fatalf("user %d profile differs across engines", u)
+		}
+		sa := a.daySchedule(u, &pa, 1, nil)
+		sb := b.daySchedule(u, &pb, 1, nil)
+		if !reflect.DeepEqual(sa, sb) {
+			t.Fatalf("user %d day-1 schedule differs across engines", u)
+		}
+	}
+}
+
+// TestEngineDeterministicResults runs the engine standalone (no scan
+// campaign around it) twice with different worker counts and compares
+// the full Results JSON.
+func TestEngineDeterministicResults(t *testing.T) {
+	run := func(workers, shardIdx, shardCnt int) *Results {
+		w := buildWorld(t)
+		clock := w.Clock.(*simclock.Manual)
+		start := clock.Now()
+		e, err := NewEngine(w, Options{
+			Users: 30, Seed: 3, Workers: workers,
+			ShardIndex: shardIdx, ShardCount: shardCnt,
+		}, telemetry.NewRegistry())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for day := 0; day < 3; day++ {
+			clock.Set(start.Add(time.Duration(day) * 24 * time.Hour))
+			e.RunDay(day)
+			if got := clock.Now(); !got.Equal(start.Add(time.Duration(day) * 24 * time.Hour)) {
+				t.Fatalf("RunDay left the clock at %s, want the day start", got)
+			}
+		}
+		return e.Finalize()
+	}
+	j := func(r *Results) string {
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	mono1 := run(1, 0, 0)
+	mono2 := run(7, 0, 0)
+	if j(mono1) != j(mono2) {
+		t.Fatal("1-worker and 7-worker engine results differ")
+	}
+	if mono1.Conns() == 0 {
+		t.Fatal("engine completed no connections")
+	}
+
+	// Two user shards merge to the monolithic results.
+	s0 := run(3, 0, 2)
+	s1 := run(3, 1, 2)
+	if err := s0.Merge(s1); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if j(s0) != j(mono1) {
+		t.Fatal("merged user shards differ from monolithic engine run")
+	}
+}

@@ -139,17 +139,27 @@ func Classify(exps []Exposure) Classification {
 // ClassifyCombined counts exceedances over already-combined windows.
 func ClassifyCombined(windows map[string]time.Duration) Classification {
 	c := Classification{Total: len(windows)}
-	day := 24 * time.Hour
 	for _, w := range windows {
-		if w > day {
+		over24h, over7d, over30d := Over(w)
+		if over24h {
 			c.Over24h++
 		}
-		if w > 7*day {
+		if over7d {
 			c.Over7d++
 		}
-		if w > 30*day {
+		if over30d {
 			c.Over30d++
 		}
 	}
 	return c
+}
+
+// Over reports which headline thresholds a combined window strictly
+// exceeds — the same cut points Classification buckets by. The traffic
+// plane uses it to join each real connection against its domain's
+// window, so the measured in-window fractions and the scanner-inferred
+// Figure 8 classification share one predicate.
+func Over(w time.Duration) (over24h, over7d, over30d bool) {
+	day := 24 * time.Hour
+	return w > day, w > 7*day, w > 30*day
 }
